@@ -1,0 +1,231 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§IV). Each BenchmarkFigN runs the corresponding experiment driver at the
+// scaled-down Tiny configuration and reports the headline metrics through
+// b.ReportMetric; `go run ./cmd/vitis-bench` prints the full tables, and
+// `-scale paper` reproduces the 10,000-node setup.
+//
+// Run with: go test -bench=. -benchmem
+package vitis
+
+import (
+	"testing"
+	"time"
+
+	"vitis/internal/core"
+	"vitis/internal/experiments"
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+	"vitis/internal/stats"
+	"vitis/internal/tablefmt"
+	"vitis/internal/workload"
+)
+
+// benchScale is the per-iteration workload for the figure benches.
+func benchScale() experiments.Scale { return experiments.Tiny() }
+
+func runFigure(b *testing.B, driver func(experiments.Scale) (*tablefmt.Table, error)) *tablefmt.Table {
+	b.Helper()
+	var tab *tablefmt.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = driver(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func BenchmarkFig4Friends(b *testing.B) {
+	tab := runFigure(b, experiments.Fig4Friends)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkFig5OverheadDist(b *testing.B) {
+	tab := runFigure(b, experiments.Fig5OverheadDist)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkFig6TableSize(b *testing.B) {
+	tab := runFigure(b, experiments.Fig6TableSize)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkFig7PubRate(b *testing.B) {
+	tab := runFigure(b, experiments.Fig7PubRate)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkFig8TwitterDegrees(b *testing.B) {
+	tab := runFigure(b, experiments.Fig8TwitterDegrees)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkFig9TwitterSummary(b *testing.B) {
+	tab := runFigure(b, experiments.Fig9TwitterSummary)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkFig10Twitter(b *testing.B) {
+	tab := runFigure(b, experiments.Fig10Twitter)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkFig11OPTDegree(b *testing.B) {
+	tab := runFigure(b, experiments.Fig11OPTDegree)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkFig12Churn(b *testing.B) {
+	tab := runFigure(b, experiments.Fig12Churn)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkDelayScaling(b *testing.B) {
+	tab := runFigure(b, experiments.DelayScaling)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkGatewayThreshold(b *testing.B) {
+	tab := runFigure(b, experiments.GatewayThreshold)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkRateAwareness(b *testing.B) {
+	tab := runFigure(b, experiments.RateAwareness)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkProximityAwareness(b *testing.B) {
+	tab := runFigure(b, experiments.ProximityAwareness)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkClusterAnalysis(b *testing.B) {
+	tab := runFigure(b, experiments.ClusterAnalysis)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkControlTraffic(b *testing.B) {
+	tab := runFigure(b, experiments.ControlTraffic)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkLossResilience(b *testing.B) {
+	tab := runFigure(b, experiments.LossResilience)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+// BenchmarkSingleRunVitis measures one full Vitis simulation (the unit of
+// every figure), reporting the quality metrics alongside time/allocs.
+func BenchmarkSingleRunVitis(b *testing.B) {
+	sc := benchScale()
+	subs, err := workload.Generate(workload.SyntheticConfig{
+		Nodes: sc.Nodes, Topics: sc.Topics, SubsPerNode: sc.SubsPerNode,
+		Buckets: sc.Buckets, Pattern: workload.HighCorrelation, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *experiments.RunResult
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Run(experiments.RunConfig{
+			System: experiments.Vitis, Subs: subs,
+			Events: sc.Events, WarmupRounds: sc.WarmupRounds, MeasureRounds: sc.MeasureRounds,
+			Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.HitRatio, "hit%")
+	b.ReportMetric(100*res.Overhead, "overhead%")
+	b.ReportMetric(res.AvgDelay, "delay-hops")
+}
+
+// BenchmarkSingleRunRVR is the baseline counterpart of BenchmarkSingleRunVitis.
+func BenchmarkSingleRunRVR(b *testing.B) {
+	sc := benchScale()
+	subs, err := workload.Generate(workload.SyntheticConfig{
+		Nodes: sc.Nodes, Topics: sc.Topics, SubsPerNode: sc.SubsPerNode,
+		Buckets: sc.Buckets, Pattern: workload.HighCorrelation, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *experiments.RunResult
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Run(experiments.RunConfig{
+			System: experiments.RVR, Subs: subs,
+			Events: sc.Events, WarmupRounds: sc.WarmupRounds, MeasureRounds: sc.MeasureRounds,
+			Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.HitRatio, "hit%")
+	b.ReportMetric(100*res.Overhead, "overhead%")
+	b.ReportMetric(res.AvgDelay, "delay-hops")
+}
+
+// --- micro-benchmarks of the protocol's hot paths ---
+
+func BenchmarkUtility(b *testing.B) {
+	mine := make(map[core.TopicID]bool, 50)
+	theirs := make([]core.TopicID, 0, 50)
+	for i := 0; i < 50; i++ {
+		mine[idspace.HashUint64(uint64(i))] = true
+		theirs = append(theirs, idspace.HashUint64(uint64(i+25)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Utility(mine, theirs, nil)
+	}
+}
+
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	eng := simnet.NewEngine(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(simnet.Time(i%1000), func() {})
+		eng.Step()
+	}
+}
+
+func BenchmarkNetworkSendDeliver(b *testing.B) {
+	eng := simnet.NewEngine(1)
+	net := simnet.NewNetwork(eng, simnet.ConstantLatency(1))
+	net.Attach(2, simnet.HandlerFunc(func(simnet.NodeID, simnet.Message) {}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(1, 2, i)
+		eng.Step()
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := stats.NewZipf(5000, 1.65)
+	eng := simnet.NewEngine(1)
+	rng := eng.DeriveRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Sample(rng)
+	}
+}
+
+func BenchmarkClusterPublish(b *testing.B) {
+	c := NewCluster(Options{Seed: 1, ExpectedNodes: 64})
+	var nodes []*Node
+	for i := 0; i < 64; i++ {
+		n := c.AddNode(string(rune('a'+i/26)) + string(rune('a'+i%26)))
+		n.Subscribe("bench", nil)
+		nodes = append(nodes, n)
+	}
+	c.Run(30 * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[i%len(nodes)].Publish("bench")
+		c.Run(2 * time.Second)
+	}
+}

@@ -1,0 +1,144 @@
+// Command vitis-bench regenerates every table and figure of the paper's
+// evaluation section (plus the ablations called out in DESIGN.md) and prints
+// them as plain-text tables.
+//
+//	vitis-bench                     # all figures at the default scale
+//	vitis-bench -fig 4,5            # only Figs. 4 and 5
+//	vitis-bench -scale tiny         # quick smoke run
+//	vitis-bench -scale paper        # the paper's 10,000-node configuration
+//	vitis-bench -o EXPERIMENTS.out  # also write the output to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"vitis/internal/experiments"
+	"vitis/internal/tablefmt"
+)
+
+type figure struct {
+	name string
+	run  func(experiments.Scale) (*tablefmt.Table, error)
+}
+
+var figures = []figure{
+	{"4", experiments.Fig4Friends},
+	{"5", experiments.Fig5OverheadDist},
+	{"6", experiments.Fig6TableSize},
+	{"7", experiments.Fig7PubRate},
+	{"8", experiments.Fig8TwitterDegrees},
+	{"9", experiments.Fig9TwitterSummary},
+	{"10", experiments.Fig10Twitter},
+	{"11", experiments.Fig11OPTDegree},
+	{"12", experiments.Fig12Churn},
+	{"delay-scaling", experiments.DelayScaling},
+	{"gateway-threshold", experiments.GatewayThreshold},
+	{"rate-awareness", experiments.RateAwareness},
+	{"proximity", experiments.ProximityAwareness},
+	{"clusters", experiments.ClusterAnalysis},
+	{"control-traffic", experiments.ControlTraffic},
+	{"loss", experiments.LossResilience},
+}
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "default", "workload scale: tiny, small, default or paper")
+		figList   = flag.String("fig", "all", "comma-separated figure list (4..12, delay-scaling, gateway-threshold, rate-awareness, proximity, clusters, control-traffic) or all")
+		outPath   = flag.String("o", "", "also write output to this file")
+		seed      = flag.Int64("seed", 1, "random seed")
+		parallel  = flag.Int("parallel", 1, "number of figures to generate concurrently (each figure's runs stay sequential and deterministic)")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "tiny":
+		sc = experiments.Tiny()
+	case "small":
+		sc = experiments.Small()
+	case "default":
+		sc = experiments.Default()
+	case "paper":
+		sc = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+
+	wanted := map[string]bool{}
+	if *figList != "all" {
+		for _, f := range strings.Split(*figList, ",") {
+			wanted[strings.TrimSpace(f)] = true
+		}
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(out, "vitis-bench scale=%s seed=%d nodes=%d topics=%d\n\n",
+		*scaleName, *seed, sc.Nodes, sc.Topics)
+
+	var selected []figure
+	for _, fig := range figures {
+		if len(wanted) == 0 || wanted[fig.name] {
+			selected = append(selected, fig)
+		}
+	}
+
+	if *parallel < 1 {
+		*parallel = 1
+	}
+	type result struct {
+		text string
+		err  error
+	}
+	results := make([]result, len(selected))
+	sem := make(chan struct{}, *parallel)
+	var wg sync.WaitGroup
+	for i, fig := range selected {
+		i, fig := i, fig
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			tab, err := fig.run(sc)
+			if err != nil {
+				results[i] = result{err: fmt.Errorf("figure %s: %w", fig.name, err)}
+				return
+			}
+			results[i] = result{text: fmt.Sprintf("%s\n(generated in %v)\n\n",
+				tab, time.Since(start).Round(time.Millisecond))}
+		}()
+	}
+	wg.Wait()
+
+	failed := false
+	for _, r := range results {
+		if r.err != nil {
+			fmt.Fprintf(out, "ERROR: %v\n\n", r.err)
+			failed = true
+			continue
+		}
+		fmt.Fprint(out, r.text)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,127 @@
+// Command vitis-sim runs a single publish/subscribe simulation and prints
+// its metrics. It is the quickest way to poke at one configuration:
+//
+//	vitis-sim -system vitis -pattern high -nodes 512 -events 200
+//	vitis-sim -system rvr -pattern random -rt 25
+//	vitis-sim -system opt -pattern twitter -optdegree 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"vitis/internal/experiments"
+	"vitis/internal/stats"
+	"vitis/internal/workload"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "vitis", "system to run: vitis, rvr or opt")
+		pattern = flag.String("pattern", "high", "subscription pattern: random, low, high or twitter")
+		nodes   = flag.Int("nodes", 512, "number of nodes")
+		topics  = flag.Int("topics", 1000, "number of topics (synthetic patterns)")
+		subs    = flag.Int("subs", 50, "subscriptions per node (synthetic patterns)")
+		buckets = flag.Int("buckets", 20, "correlation buckets (synthetic patterns)")
+		events  = flag.Int("events", 120, "events to publish")
+		warmup  = flag.Int("warmup", 40, "warmup gossip rounds before publishing")
+		window  = flag.Int("window", 20, "publication window in rounds")
+		rt      = flag.Int("rt", 15, "routing table size")
+		sw      = flag.Int("sw", 1, "small-world links k (vitis)")
+		d       = flag.Int("d", 5, "gateway hop threshold (vitis)")
+		optDeg  = flag.Int("optdegree", 0, "OPT degree bound (0 = unbounded)")
+		alpha   = flag.Float64("alpha", 0, "publication rate skew (0 = uniform)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var sys experiments.System
+	switch *system {
+	case "vitis":
+		sys = experiments.Vitis
+	case "rvr":
+		sys = experiments.RVR
+	case "opt":
+		sys = experiments.OPT
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	var sub *workload.Subscriptions
+	var err error
+	switch *pattern {
+	case "random", "low", "high":
+		pat := map[string]workload.Pattern{
+			"random": workload.Random, "low": workload.LowCorrelation, "high": workload.HighCorrelation,
+		}[*pattern]
+		sub, err = workload.Generate(workload.SyntheticConfig{
+			Nodes: *nodes, Topics: *topics, SubsPerNode: *subs,
+			Buckets: *buckets, Pattern: pat, Seed: *seed,
+		})
+	case "twitter":
+		graph, gerr := workload.GenerateTwitter(workload.TwitterConfig{Users: *nodes * 8, Seed: *seed})
+		if gerr != nil {
+			err = gerr
+			break
+		}
+		sample := workload.BFSSample(graph, rand.New(rand.NewSource(*seed+1)), *nodes)
+		sub = workload.SubgraphSubscriptions(graph, sample)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workload:", err)
+		os.Exit(1)
+	}
+
+	var rates []float64
+	if *alpha > 0 {
+		rates = workload.TopicRates(rand.New(rand.NewSource(*seed+2)), sub.Topics, *alpha)
+	}
+
+	res, err := experiments.Run(experiments.RunConfig{
+		System:        sys,
+		Subs:          sub,
+		Rates:         rates,
+		Events:        *events,
+		WarmupRounds:  *warmup,
+		MeasureRounds: *window,
+		RTSize:        *rt,
+		SWLinks:       *sw,
+		GatewayHops:   *d,
+		OPTMaxDegree:  *optDeg,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("system            %s\n", sys)
+	fmt.Printf("pattern           %s\n", *pattern)
+	fmt.Printf("nodes             %d\n", sub.Nodes)
+	fmt.Printf("topics            %d\n", sub.Topics)
+	fmt.Printf("avg subs/node     %.1f\n", sub.AvgSubsPerNode())
+	fmt.Printf("events            %d\n", res.Collector.Events())
+	fmt.Printf("hit ratio         %.2f%%\n", 100*res.HitRatio)
+	fmt.Printf("traffic overhead  %.2f%%\n", 100*res.Overhead)
+	fmt.Printf("avg delay         %.2f hops (max %d)\n", res.AvgDelay, res.Collector.MaxDelay())
+	sum := stats.Summarize(res.PerNodeOverheadPct)
+	fmt.Printf("per-node overhead p50=%.1f%% p90=%.1f%% max=%.1f%%\n",
+		stats.Percentile(res.PerNodeOverheadPct, 50),
+		stats.Percentile(res.PerNodeOverheadPct, 90), sum.Max)
+	ds := stats.Summarize(intsToFloats(res.Degrees))
+	fmt.Printf("node degree       mean=%.1f max=%.0f\n", ds.Mean, ds.Max)
+}
+
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+// Command vitis-trace generates and inspects the workloads behind the
+// experiments: synthetic subscription patterns, Twitter-like follower
+// graphs, and Skype-like churn traces.
+//
+//	vitis-trace subs -pattern high -nodes 512
+//	vitis-trace twitter -users 4096 -sample 512
+//	vitis-trace churn -nodes 256 -duration 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"vitis/internal/core"
+	"vitis/internal/experiments"
+	"vitis/internal/idspace"
+	"vitis/internal/overlay"
+	"vitis/internal/simnet"
+	"vitis/internal/stats"
+	"vitis/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "subs":
+		subsCmd(os.Args[2:])
+	case "twitter":
+		twitterCmd(os.Args[2:])
+	case "churn":
+		churnCmd(os.Args[2:])
+	case "overlay":
+		overlayCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vitis-trace {subs|twitter|churn|overlay} [flags]")
+	os.Exit(2)
+}
+
+// overlayCmd converges a Vitis overlay and reports its cluster structure;
+// with -dot it also writes a Graphviz rendering with one topic's clusters
+// colored.
+func overlayCmd(args []string) {
+	fs := flag.NewFlagSet("overlay", flag.ExitOnError)
+	nodes := fs.Int("nodes", 96, "number of nodes")
+	topics := fs.Int("topics", 40, "number of topics")
+	subs := fs.Int("subs", 10, "subscriptions per node")
+	buckets := fs.Int("buckets", 8, "correlation buckets")
+	pattern := fs.String("pattern", "high", "random, low or high")
+	friends := fs.Int("friends", 12, "friend links out of a 15-entry table")
+	dotPath := fs.String("dot", "", "write a Graphviz DOT file")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	pat, ok := map[string]workload.Pattern{
+		"random": workload.Random, "low": workload.LowCorrelation, "high": workload.HighCorrelation,
+	}[*pattern]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+	s, err := workload.Generate(workload.SyntheticConfig{
+		Nodes: *nodes, Topics: *topics, SubsPerNode: *subs, Buckets: *buckets,
+		Pattern: pat, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var snap *overlay.Snapshot
+	_, err = experiments.Run(experiments.RunConfig{
+		System: experiments.Vitis, Subs: s, Events: 1,
+		RTSize: 15, SWLinks: 15 - 2 - *friends, Seed: *seed,
+		InspectVitis: func(nodes []*core.Node) { snap = overlay.Capture(nodes) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var sampleTopics []core.TopicID
+	var coloredTopic core.TopicID
+	for ti, nodesOf := range s.SubscribersOf() {
+		if len(nodesOf) > 0 {
+			tid := idspace.HashString(fmt.Sprintf("topic-%d", ti))
+			if coloredTopic == 0 {
+				coloredTopic = tid
+			}
+			sampleTopics = append(sampleTopics, tid)
+			if len(sampleTopics) == 64 {
+				break
+			}
+		}
+	}
+	st := snap.Analyze(sampleTopics)
+	deg := snap.DegreeSummary()
+	fmt.Printf("nodes               %d\n", snap.Links.NumVertices())
+	fmt.Printf("overlay edges       %d\n", snap.Links.NumEdges())
+	fmt.Printf("degree              mean=%.1f max=%.0f\n", deg.Mean, deg.Max)
+	fmt.Printf("topics analysed     %d\n", st.Topics)
+	fmt.Printf("clusters per topic  mean=%.2f max=%d\n", st.MeanPerTopic, st.MaxPerTopic)
+	fmt.Printf("cluster size        mean=%.1f (singletons: %d)\n", st.MeanClusterSize, st.Singletons)
+	fmt.Printf("cluster diameter    mean=%.2f\n", st.MeanDiameter)
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(snap.DOT(coloredTopic)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (clusters of one topic colored)\n", *dotPath)
+	}
+}
+
+func subsCmd(args []string) {
+	fs := flag.NewFlagSet("subs", flag.ExitOnError)
+	pattern := fs.String("pattern", "high", "random, low or high")
+	nodes := fs.Int("nodes", 512, "number of nodes")
+	topics := fs.Int("topics", 1000, "number of topics")
+	subs := fs.Int("subs", 50, "subscriptions per node")
+	buckets := fs.Int("buckets", 20, "correlation buckets")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	pat, ok := map[string]workload.Pattern{
+		"random": workload.Random, "low": workload.LowCorrelation, "high": workload.HighCorrelation,
+	}[*pattern]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+	s, err := workload.Generate(workload.SyntheticConfig{
+		Nodes: *nodes, Topics: *topics, SubsPerNode: *subs, Buckets: *buckets,
+		Pattern: pat, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewSource(*seed + 1))
+	var pops []float64
+	for _, nodesOf := range s.SubscribersOf() {
+		pops = append(pops, float64(len(nodesOf)))
+	}
+	popSum := stats.Summarize(pops)
+	fmt.Printf("pattern            %s\n", pat)
+	fmt.Printf("nodes              %d\n", s.Nodes)
+	fmt.Printf("topics             %d\n", s.Topics)
+	fmt.Printf("subs per node      %.1f\n", s.AvgSubsPerNode())
+	fmt.Printf("topic popularity   mean=%.1f min=%.0f max=%.0f\n", popSum.Mean, popSum.Min, popSum.Max)
+	fmt.Printf("pairwise overlap   %.4f (sampled)\n", s.MeanPairwiseOverlap(rng, 5000))
+}
+
+func twitterCmd(args []string) {
+	fs := flag.NewFlagSet("twitter", flag.ExitOnError)
+	users := fs.Int("users", 4096, "users in the generated follower graph")
+	sample := fs.Int("sample", 512, "BFS sample size (0 = skip sampling)")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	g, err := workload.GenerateTwitter(workload.TwitterConfig{Users: *users, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := workload.Stats(g)
+	fmt.Printf("users              %d\n", st.Users)
+	fmt.Printf("follow relations   %d\n", st.Follows)
+	fmt.Printf("avg out-degree     %.2f (max %d)\n", st.AvgOutDegree, st.MaxOutDegree)
+	fmt.Printf("avg in-degree      %.2f (max %d)\n", st.AvgInDegree, st.MaxInDegree)
+	fmt.Printf("fitted alpha       %.2f (paper: 1.65)\n", st.FittedAlpha)
+
+	if *sample > 0 {
+		rng := rand.New(rand.NewSource(*seed + 1))
+		ids := workload.BFSSample(g, rng, *sample)
+		subs := workload.SubgraphSubscriptions(g, ids)
+		fmt.Printf("sampled nodes      %d\n", subs.Nodes)
+		fmt.Printf("sample subs/node   %.1f\n", subs.AvgSubsPerNode())
+	}
+}
+
+func churnCmd(args []string) {
+	fs := flag.NewFlagSet("churn", flag.ExitOnError)
+	nodes := fs.Int("nodes", 256, "node population")
+	duration := fs.Int64("duration", 600, "trace duration in simulated seconds")
+	flashAt := fs.Int64("flash", 400, "flash crowd instant in seconds (0 = none)")
+	flashFrac := fs.Float64("flashfrac", 0.3, "fraction of nodes joining in the flash crowd")
+	interval := fs.Int64("interval", 50, "size-series sampling interval in seconds")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	d := simnet.Time(*duration) * simnet.Second
+	tr, err := workload.GenerateChurn(workload.ChurnConfig{
+		Nodes:            *nodes,
+		Duration:         d,
+		MeanSession:      d / 4,
+		MeanOffline:      d / 10,
+		RampWindow:       d / 4,
+		FlashCrowdAt:     simnet.Time(*flashAt) * simnet.Second,
+		FlashCrowdFrac:   *flashFrac,
+		FlashCrowdWindow: d / 60,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("sessions  %d\n", len(tr))
+	fmt.Printf("duration  %ds\n", *duration)
+	fmt.Println("time(s)  alive")
+	step := simnet.Time(*interval) * simnet.Second
+	for i, size := range tr.SizeSeries(step) {
+		fmt.Printf("%7d  %d\n", int64(simnet.Time(i)*step/simnet.Second), size)
+	}
+}

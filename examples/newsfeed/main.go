@@ -1,0 +1,102 @@
+// Newsfeed: a Twitter-like social feed over Vitis.
+//
+// Every user doubles as a topic (the paper's §IV-E dual role): following
+// @alice means subscribing to the topic "user:alice". A synthetic follower
+// graph with a heavy-tailed popularity distribution drives the
+// subscriptions; celebrities post and their followers receive the posts
+// through the overlay, with only a small fraction of the traffic touching
+// uninterested relays.
+//
+//	go run ./examples/newsfeed
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"vitis"
+)
+
+const users = 120
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	cluster := vitis.NewCluster(vitis.Options{Seed: 7, ExpectedNodes: users})
+
+	// Create the users.
+	names := make([]string, users)
+	nodes := make([]*vitis.Node, users)
+	for i := range nodes {
+		names[i] = fmt.Sprintf("user%03d", i)
+		nodes[i] = cluster.AddNode(names[i])
+	}
+
+	// Heavy-tailed popularity: user i gets weight 1/(i+1); everyone
+	// follows ~12 accounts drawn by weight, so low-index users become
+	// celebrities.
+	weights := make([]float64, users)
+	var total float64
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		total += weights[i]
+	}
+	pickUser := func() int {
+		u := rng.Float64() * total
+		for i, w := range weights {
+			u -= w
+			if u <= 0 {
+				return i
+			}
+		}
+		return users - 1
+	}
+
+	followers := make([]int, users)
+	received := make([]int, users)
+	for i, n := range nodes {
+		i := i
+		seen := map[int]bool{i: true}
+		for len(seen) < 13 { // 12 followees
+			j := pickUser()
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			followers[j]++
+			n.Subscribe("user:"+names[j], func(ev vitis.Event) { received[i]++ })
+		}
+	}
+
+	fmt.Println("building the overlay (gossip warmup)...")
+	cluster.Run(45 * time.Second)
+
+	// The three biggest celebrities post a few times each.
+	type celeb struct{ idx, followers int }
+	var ranking []celeb
+	for i, f := range followers {
+		ranking = append(ranking, celeb{i, f})
+	}
+	sort.Slice(ranking, func(a, b int) bool { return ranking[a].followers > ranking[b].followers })
+
+	expected := 0
+	for _, c := range ranking[:3] {
+		fmt.Printf("@%s (%d followers) posts 3 updates\n", names[c.idx], c.followers)
+		for k := 0; k < 3; k++ {
+			nodes[c.idx].Publish("user:" + names[c.idx])
+			expected += c.followers
+			cluster.Run(3 * time.Second)
+		}
+	}
+	cluster.Run(15 * time.Second)
+
+	got := 0
+	for _, r := range received {
+		got += r
+	}
+	fmt.Printf("\ndeliveries: %d of %d expected (%.1f%%)\n",
+		got, expected, 100*float64(got)/float64(expected))
+	fmt.Printf("relay (uninterested) traffic: %.1f%% of all notifications\n",
+		100*cluster.Stats().OverheadRatio())
+}

@@ -1,0 +1,3 @@
+module vitis
+
+go 1.22

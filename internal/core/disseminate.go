@@ -1,0 +1,108 @@
+package core
+
+import "sort"
+
+// seenSet deduplicates events with bounded memory: membership is checked
+// against two generations and inserts go to the current one; rotation drops
+// the older generation. An event older than two rotation periods can in
+// principle be re-accepted, but notifications only live for the duration of
+// a dissemination (seconds), far below the rotation period.
+type seenSet struct {
+	cur, prev map[EventID]bool
+}
+
+func newSeenSet() *seenSet {
+	return &seenSet{cur: make(map[EventID]bool), prev: make(map[EventID]bool)}
+}
+
+func (s *seenSet) has(ev EventID) bool { return s.cur[ev] || s.prev[ev] }
+
+func (s *seenSet) add(ev EventID) { s.cur[ev] = true }
+
+// rotate discards the older generation.
+func (s *seenSet) rotate() {
+	s.prev = s.cur
+	s.cur = make(map[EventID]bool)
+}
+
+func (s *seenSet) len() int { return len(s.cur) + len(s.prev) }
+
+// Publish creates a new metadata-only event on topic t and starts its
+// dissemination (§III-C): the notification floods inside the publisher's
+// cluster through interested neighbors and crosses to other clusters over
+// the relay paths. Use PublishData to attach a payload that subscribers
+// pull hop-by-hop. The returned EventID lets the caller correlate
+// deliveries.
+func (n *Node) Publish(t TopicID) EventID {
+	ev := EventID{Publisher: n.id, Seq: n.pubSeq}
+	n.pubSeq++
+	n.seen.add(ev)
+	if n.subs[t] && n.hooks.OnDeliver != nil {
+		n.hooks.OnDeliver(n.id, t, ev, 0)
+	}
+	n.forwardData(t, ev, 0, n.id, false)
+	return ev
+}
+
+// handleNotification processes a received event notification: account for
+// the traffic, deduplicate, deliver if subscribed, pull the payload if one
+// exists, and keep forwarding.
+func (n *Node) handleNotification(from NodeID, m Notification) {
+	if n.hooks.OnNotification != nil {
+		n.hooks.OnNotification(n.id, m.Topic, n.subs[m.Topic])
+	}
+	if n.seen.has(m.Event) {
+		return
+	}
+	n.seen.add(m.Event)
+	if n.subs[m.Topic] && n.hooks.OnDeliver != nil {
+		n.hooks.OnDeliver(n.id, m.Topic, m.Event, m.Hops)
+	}
+	if m.HasData {
+		// Every receiver pulls — relay nodes included, since their own
+		// downstream will pull from them; that is precisely the
+		// bandwidth cost of relaying the paper sets out to reduce.
+		if n.subs[m.Topic] {
+			n.wantPayload[m.Event] = true
+		}
+		n.startPull(from, m.Event)
+	}
+	n.forwardData(m.Topic, m.Event, m.Hops, from, m.HasData)
+}
+
+// forwardData sends the notification to every dissemination link for the
+// topic: all cluster neighbors whose profile shows interest, plus the live
+// relay parent and children. exclude (the node we got the event from) is
+// skipped; other duplicate paths are cut by the receivers' seen-set.
+func (n *Node) forwardData(t TopicID, ev EventID, hops int, exclude NodeID, hasData bool) {
+	targets := make(map[NodeID]bool)
+	for _, nb := range n.clusterNeighbors() {
+		if p := n.profiles[nb]; p != nil && p.Subscribed(t) {
+			targets[nb] = true
+		}
+	}
+	if rs, ok := n.relays[t]; ok {
+		now := n.eng.Now()
+		if parent, ok := rs.freshParent(now); ok {
+			targets[parent] = true
+		}
+		for _, c := range rs.freshChildren(now) {
+			targets[c] = true
+		}
+	}
+	delete(targets, exclude)
+	delete(targets, n.id)
+
+	ids := make([]NodeID, 0, len(targets))
+	for id := range targets {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n.net.Send(n.id, id, Notification{Topic: t, Event: ev, Hops: hops + 1, HasData: hasData})
+	}
+}
+
+// Seen reports whether the node has already received (or published) ev —
+// exposed for tests and the hit-ratio collector.
+func (n *Node) Seen(ev EventID) bool { return n.seen.has(ev) }

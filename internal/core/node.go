@@ -1,0 +1,460 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"vitis/internal/idspace"
+	"vitis/internal/sampling"
+	"vitis/internal/simnet"
+	"vitis/internal/tman"
+)
+
+// Node is one Vitis participant. It is single-threaded by construction: all
+// of its methods run inside simulator events, so no locking is needed.
+type Node struct {
+	id     NodeID
+	net    *simnet.Network
+	eng    *simnet.Engine
+	params Params
+	rng    *rand.Rand
+	hooks  Hooks
+
+	subs map[TopicID]bool
+	rate func(TopicID) float64 // nil = uniform
+
+	// Physical-topology extension of the preference function (§III-A2).
+	proximity       func(peer NodeID) float64
+	proximityWeight float64
+
+	sampler *sampling.Service
+	xchg    *tman.Exchanger
+
+	// Heartbeat bookkeeping (Algorithms 6–7).
+	ages     map[NodeID]int
+	profiles map[NodeID]*Profile
+	// reverse holds expiry times for nodes that recently heartbeated us
+	// but are not in our routing table; together with the table they form
+	// the (symmetrized) cluster graph used by election and flooding.
+	reverse map[NodeID]simnet.Time
+	// knownSubs caches subscription lists gleaned from T-Man payloads for
+	// nodes without a full profile yet.
+	knownSubs map[NodeID]subsSummary
+	// suspects are nodes whose heartbeats timed out; their descriptors
+	// keep circulating in gossip buffers for a while, so selection must
+	// refuse them until the suspicion expires (or they speak again).
+	suspects map[NodeID]simnet.Time
+
+	// Gateway election state (Algorithm 5).
+	proposals map[TopicID]Proposal
+
+	// Relay-path soft state (§III-B).
+	relays map[TopicID]*relayState
+
+	// Dissemination state (§III-C).
+	seen       *seenSet
+	seenRounds int
+	pubSeq     uint64
+
+	// Pull state (§III-C's notify-then-pull data plane).
+	payloads    map[EventID][]byte
+	pulling     map[EventID]bool
+	pullWaiters map[EventID][]NodeID
+	wantPayload map[EventID]bool
+
+	stopped bool
+}
+
+// NewNode creates a node with the given identity. Call Join to put it on the
+// network.
+func NewNode(net *simnet.Network, id NodeID, params Params, hooks Hooks) *Node {
+	p := params.WithDefaults()
+	n := &Node{
+		id:          id,
+		net:         net,
+		eng:         net.Engine(),
+		params:      p,
+		hooks:       hooks,
+		subs:        make(map[TopicID]bool),
+		ages:        make(map[NodeID]int),
+		profiles:    make(map[NodeID]*Profile),
+		reverse:     make(map[NodeID]simnet.Time),
+		knownSubs:   make(map[NodeID]subsSummary),
+		suspects:    make(map[NodeID]simnet.Time),
+		proposals:   make(map[TopicID]Proposal),
+		relays:      make(map[TopicID]*relayState),
+		seen:        newSeenSet(),
+		payloads:    make(map[EventID][]byte),
+		pulling:     make(map[EventID]bool),
+		pullWaiters: make(map[EventID][]NodeID),
+		wantPayload: make(map[EventID]bool),
+	}
+	n.rng = net.Engine().DeriveRNG(int64(id))
+	return n
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Subscribe adds a topic to the node's profile. Taking effect in the overlay
+// structures happens over the following gossip rounds.
+func (n *Node) Subscribe(t TopicID) { n.subs[t] = true }
+
+// Unsubscribe removes a topic from the profile; the corresponding proposal
+// and any relay duty decay via leases.
+func (n *Node) Unsubscribe(t TopicID) {
+	delete(n.subs, t)
+	delete(n.proposals, t)
+}
+
+// Subscribed reports whether the node currently subscribes to t.
+func (n *Node) Subscribed(t TopicID) bool { return n.subs[t] }
+
+// Subscriptions returns the sorted subscription list.
+func (n *Node) Subscriptions() []TopicID { return n.sortedSubs() }
+
+// SetRate installs the publication-rate estimate rate(t) used by the Eq. 1
+// utility function. A nil function means uniform rates.
+func (n *Node) SetRate(rate func(TopicID) float64) { n.rate = rate }
+
+// SetProximity enables the physical-topology extension of the preference
+// function (§III-A2): friend candidates are ranked by
+// (1-weight)·utility + weight·proximity(peer), where proximity returns a
+// value in [0,1] (1 = closest). A nil function disables the extension.
+func (n *Node) SetProximity(proximity func(peer NodeID) float64, weight float64) {
+	if weight < 0 {
+		weight = 0
+	}
+	if weight > 1 {
+		weight = 1
+	}
+	n.proximity = proximity
+	n.proximityWeight = weight
+}
+
+// Join attaches the node to the network and starts its protocol stacks,
+// bootstrapped from the given peers (Algorithm 1).
+func (n *Node) Join(bootstrap []NodeID) {
+	n.net.Attach(n.id, simnet.HandlerFunc(n.dispatch))
+
+	n.sampler = sampling.New(n.net, n.id,
+		sampling.Config{ViewSize: n.params.SamplerViewSize, Period: n.params.GossipPeriod},
+		bootstrap, n.rng)
+
+	bootDesc := make([]tman.Descriptor, 0, len(bootstrap))
+	for _, id := range bootstrap {
+		bootDesc = append(bootDesc, tman.Descriptor{ID: id})
+	}
+	n.xchg = tman.New(n.net, n.id, n.params.GossipPeriod, tman.Callbacks{
+		SelfDescriptor: func() tman.Descriptor {
+			return tman.Descriptor{ID: n.id, Payload: subsSummary(n.sortedSubs())}
+		},
+		SampleNodes: func() []tman.Descriptor {
+			ids := n.sampler.Sample(n.params.SampleSize)
+			out := make([]tman.Descriptor, 0, len(ids))
+			for _, id := range ids {
+				out = append(out, tman.Descriptor{ID: id})
+			}
+			return out
+		},
+		SelectNeighbors: n.selectNeighbors,
+	}, bootDesc, n.rng)
+
+	n.sampler.Start()
+	n.xchg.Start()
+	n.eng.Every(n.params.HeartbeatPeriod, func() bool {
+		if n.stopped {
+			return false
+		}
+		n.heartbeat()
+		return true
+	})
+}
+
+// Leave removes the node from the network immediately (ungraceful, as in
+// the churn experiments: neighbors find out through missed heartbeats).
+func (n *Node) Leave() {
+	n.stopped = true
+	if n.sampler != nil {
+		n.sampler.Stop()
+	}
+	if n.xchg != nil {
+		n.xchg.Stop()
+	}
+	n.net.Detach(n.id)
+}
+
+// Alive reports whether the node has joined and not left.
+func (n *Node) Alive() bool { return !n.stopped && n.net.Alive(n.id) }
+
+// dispatch routes incoming messages to the right protocol layer.
+func (n *Node) dispatch(from NodeID, msg simnet.Message) {
+	if n.stopped {
+		return
+	}
+	if n.sampler.HandleMessage(from, msg) {
+		return
+	}
+	if n.xchg.HandleMessage(from, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case ProfileMsg:
+		n.handleProfile(from, m)
+	case RelayMsg:
+		n.handleRelay(from, m)
+	case Notification:
+		n.handleNotification(from, m)
+	case PullReq:
+		n.handlePullReq(from, m)
+	case PullResp:
+		n.handlePullResp(from, m)
+	}
+}
+
+// heartbeat is Algorithm 6: refresh proposals, prune stale neighbors, and
+// send the profile to every routing-table entry.
+func (n *Node) heartbeat() {
+	now := n.eng.Now()
+	n.updateProposals()
+	n.expireState(now)
+
+	profile := n.buildProfile()
+	for _, d := range n.xchg.RT() {
+		n.ages[d.ID]++
+		if n.ages[d.ID] > n.params.StaleAge {
+			n.xchg.Remove(d.ID)
+			delete(n.ages, d.ID)
+			delete(n.profiles, d.ID)
+			// Tombstone: the dead descriptor will keep arriving in
+			// gossip buffers for a while; refuse to re-select it.
+			n.suspects[d.ID] = now + 3*simnet.Time(n.params.StaleAge)*n.params.HeartbeatPeriod
+			continue
+		}
+		n.net.Send(n.id, d.ID, ProfileMsg{Profile: profile})
+	}
+	// Drop age entries for nodes no longer in the table.
+	for id := range n.ages {
+		if !n.xchg.Contains(id) {
+			delete(n.ages, id)
+		}
+	}
+	// Bound the dedup memory: rotate the seen-set generations well above
+	// any plausible dissemination time.
+	n.seenRounds++
+	if n.seenRounds >= seenRotateRounds {
+		n.seenRounds = 0
+		n.seen.rotate()
+	}
+}
+
+// seenRotateRounds is how many heartbeat rounds one seen-set generation
+// lives; dissemination completes within a handful of rounds, so 30 gives a
+// wide safety margin.
+const seenRotateRounds = 30
+
+// handleProfile is Algorithm 7 plus the reactive reply that makes liveness
+// detection symmetric for one-directional routing-table edges.
+func (n *Node) handleProfile(from NodeID, m ProfileMsg) {
+	delete(n.suspects, from) // it speaks, so it lives
+	n.profiles[from] = m.Profile
+	n.reverse[from] = n.eng.Now() + simnet.Time(n.params.StaleAge)*n.params.HeartbeatPeriod
+	if n.xchg.Contains(from) {
+		n.ages[from] = 0
+		n.xchg.UpdatePayload(from, subsSummary(m.Profile.Subs))
+	}
+	if !m.Reply {
+		n.net.Send(n.id, from, ProfileMsg{Profile: n.buildProfile(), Reply: true})
+	}
+}
+
+// buildProfile snapshots the node's profile for this round. The result is
+// shared (immutable) across all heartbeats of the round.
+func (n *Node) buildProfile() *Profile {
+	props := make(map[TopicID]Proposal, len(n.proposals))
+	for t, p := range n.proposals {
+		props[t] = p
+	}
+	return &Profile{ID: n.id, Subs: n.sortedSubs(), Proposals: props}
+}
+
+func (n *Node) sortedSubs() []TopicID {
+	out := make([]TopicID, 0, len(n.subs))
+	for t := range n.subs {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// updateProposals is Algorithm 5: for every subscribed topic, adopt the best
+// gateway proposal among interested neighbors, subject to loop avoidance and
+// the hop threshold d; a node recognising itself as gateway initiates the
+// relay path.
+func (n *Node) updateProposals() {
+	neighbors := n.clusterNeighbors()
+	// Iterate topics in sorted order: relay lookups send messages, and
+	// deterministic send order keeps whole runs reproducible.
+	for _, t := range n.sortedSubs() {
+		prop := Proposal{GW: n.id, Parent: n.id, Hops: 0}
+		for _, nb := range neighbors {
+			p := n.profiles[nb]
+			if p == nil || !p.Subscribed(t) {
+				continue
+			}
+			next, ok := p.Proposals[t]
+			if !ok {
+				continue
+			}
+			// Loop avoidance: accept only proposals the neighbor
+			// originated itself or whose parent we cannot reach —
+			// and never proposals derived from us.
+			if next.Parent == n.id {
+				continue
+			}
+			if nb != next.Parent && n.isClusterNeighbor(next.Parent) {
+				continue
+			}
+			curDis := idspace.Distance(prop.GW, t)
+			newDis := idspace.Distance(next.GW, t)
+			if newDis < curDis && next.Hops+1 < n.params.GatewayHops {
+				prop = Proposal{GW: next.GW, Parent: nb, Hops: next.Hops + 1}
+			}
+			if next.GW == prop.GW && next.Hops+1 < prop.Hops {
+				prop = Proposal{GW: next.GW, Parent: nb, Hops: next.Hops + 1}
+			}
+		}
+		n.proposals[t] = prop
+		if prop.GW == n.id {
+			n.requestRelay(t)
+		}
+	}
+}
+
+// clusterNeighbors returns the ids of nodes forming the (symmetrized)
+// gossip neighborhood: routing-table entries plus fresh reverse neighbors.
+// Sorted for determinism.
+func (n *Node) clusterNeighbors() []NodeID {
+	now := n.eng.Now()
+	set := make(map[NodeID]bool)
+	for _, d := range n.xchg.RT() {
+		set[d.ID] = true
+	}
+	for id, exp := range n.reverse {
+		if exp > now {
+			set[id] = true
+		}
+	}
+	out := make([]NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (n *Node) isClusterNeighbor(id NodeID) bool {
+	if n.xchg.Contains(id) {
+		return true
+	}
+	exp, ok := n.reverse[id]
+	return ok && exp > n.eng.Now()
+}
+
+// expireState clears reverse-neighbor entries and dead relay state.
+func (n *Node) expireState(now simnet.Time) {
+	for id, exp := range n.reverse {
+		if exp <= now {
+			delete(n.reverse, id)
+			if !n.xchg.Contains(id) {
+				delete(n.profiles, id)
+			}
+		}
+	}
+	for t, rs := range n.relays {
+		for c, exp := range rs.children {
+			if exp <= now {
+				delete(rs.children, c)
+			}
+		}
+		if rs.expired(now) {
+			delete(n.relays, t)
+		}
+	}
+	for id, until := range n.suspects {
+		if until <= now {
+			delete(n.suspects, id)
+		}
+	}
+}
+
+// recordSubs caches a subscription list learned from gossip payloads.
+func (n *Node) recordSubs(id NodeID, subs subsSummary) {
+	if id == n.id {
+		return
+	}
+	n.knownSubs[id] = subs
+}
+
+// --- Introspection (tests, analysis, examples) ---
+
+// RoutingTable returns the current routing-table node ids in selection order
+// (successor, predecessor, sw-neighbors, friends).
+func (n *Node) RoutingTable() []NodeID {
+	rt := n.xchg.RT()
+	out := make([]NodeID, len(rt))
+	for i, d := range rt {
+		out[i] = d.ID
+	}
+	return out
+}
+
+// Successor returns the node's current ring successor (first RT slot).
+func (n *Node) Successor() (NodeID, bool) {
+	rt := n.xchg.RT()
+	if len(rt) == 0 {
+		return 0, false
+	}
+	return rt[0].ID, true
+}
+
+// Predecessor returns the node's current ring predecessor (second RT slot).
+func (n *Node) Predecessor() (NodeID, bool) {
+	rt := n.xchg.RT()
+	if len(rt) < 2 {
+		return 0, false
+	}
+	return rt[1].ID, true
+}
+
+// ProposalFor returns the node's current gateway proposal for t.
+func (n *Node) ProposalFor(t TopicID) (Proposal, bool) {
+	p, ok := n.proposals[t]
+	return p, ok
+}
+
+// IsGateway reports whether the node currently considers itself gateway for
+// t.
+func (n *Node) IsGateway(t TopicID) bool {
+	p, ok := n.proposals[t]
+	return ok && p.GW == n.id
+}
+
+// IsRendezvous reports whether the node currently holds live rendezvous
+// state for t.
+func (n *Node) IsRendezvous(t TopicID) bool {
+	rs, ok := n.relays[t]
+	return ok && rs.rendezvous && rs.rendezExpiry > n.eng.Now()
+}
+
+// IsRelay reports whether the node holds any live relay state for t.
+func (n *Node) IsRelay(t TopicID) bool {
+	rs, ok := n.relays[t]
+	return ok && !rs.expired(n.eng.Now())
+}
+
+// KnownProfile returns the last profile heard from id.
+func (n *Node) KnownProfile(id NodeID) (*Profile, bool) {
+	p, ok := n.profiles[id]
+	return p, ok
+}

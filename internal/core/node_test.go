@@ -1,0 +1,443 @@
+package core
+
+import (
+	"testing"
+
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+)
+
+// cluster is a small in-package test harness: n Vitis nodes on one network,
+// each subscribed per the subs map, bootstrapped in a chain.
+type cluster struct {
+	eng   *simnet.Engine
+	net   *simnet.Network
+	nodes []*Node
+	ids   []NodeID
+
+	delivered map[EventID]map[NodeID]int // event -> node -> hops
+	relayRecv map[NodeID]int             // uninterested notifications per node
+	totalRecv map[NodeID]int
+}
+
+func newCluster(t *testing.T, n int, params Params, subs func(i int) []TopicID) *cluster {
+	t.Helper()
+	c := &cluster{
+		eng:       simnet.NewEngine(42),
+		delivered: make(map[EventID]map[NodeID]int),
+		relayRecv: make(map[NodeID]int),
+		totalRecv: make(map[NodeID]int),
+	}
+	c.net = simnet.NewNetwork(c.eng, simnet.UniformLatency{Min: 10, Max: 80})
+	if params.NetworkSizeEstimate == 0 {
+		params.NetworkSizeEstimate = n
+	}
+	hooks := Hooks{
+		OnDeliver: func(node NodeID, topic TopicID, ev EventID, hops int) {
+			m := c.delivered[ev]
+			if m == nil {
+				m = make(map[NodeID]int)
+				c.delivered[ev] = m
+			}
+			if _, dup := m[node]; dup {
+				t.Errorf("node %v delivered event %v twice", node, ev)
+			}
+			m[node] = hops
+		},
+		OnNotification: func(node NodeID, topic TopicID, interested bool) {
+			c.totalRecv[node]++
+			if !interested {
+				c.relayRecv[node]++
+			}
+		},
+	}
+	c.ids = make([]NodeID, n)
+	for i := range c.ids {
+		c.ids[i] = idspace.HashUint64(uint64(i))
+	}
+	c.nodes = make([]*Node, n)
+	for i := range c.ids {
+		nd := NewNode(c.net, c.ids[i], params, hooks)
+		for _, tp := range subs(i) {
+			nd.Subscribe(tp)
+		}
+		c.nodes[i] = nd
+	}
+	for i, nd := range c.nodes {
+		var boot []NodeID
+		for j := 1; j <= 3; j++ {
+			boot = append(boot, c.ids[(i+j)%n])
+		}
+		nd.Join(boot)
+	}
+	return c
+}
+
+func (c *cluster) run(d simnet.Time) { c.eng.RunUntil(c.eng.Now() + d) }
+
+// subscribersOf returns the alive nodes subscribed to t.
+func (c *cluster) subscribersOf(t TopicID) []*Node {
+	var out []*Node
+	for _, nd := range c.nodes {
+		if nd.Alive() && nd.Subscribed(t) {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+func TestRingConverges(t *testing.T) {
+	tp := Topic("solo")
+	c := newCluster(t, 32, Params{}, func(i int) []TopicID { return []TopicID{tp} })
+	c.run(40 * simnet.Second)
+
+	// Compute true successors.
+	sorted := append([]NodeID(nil), c.ids...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	pos := map[NodeID]int{}
+	for i, id := range sorted {
+		pos[id] = i
+	}
+	bad := 0
+	for i, nd := range c.nodes {
+		succ, ok := nd.Successor()
+		want := sorted[(pos[c.ids[i]]+1)%len(sorted)]
+		if !ok || succ != want {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Errorf("%d of 32 nodes lack the true successor", bad)
+	}
+}
+
+func TestSingleTopicFullDelivery(t *testing.T) {
+	tp := Topic("news")
+	c := newCluster(t, 40, Params{}, func(i int) []TopicID {
+		if i%2 == 0 {
+			return []TopicID{tp}
+		}
+		return []TopicID{Topic("other")}
+	})
+	c.run(40 * simnet.Second)
+
+	pub := c.subscribersOf(tp)[0]
+	ev := pub.Publish(tp)
+	c.run(20 * simnet.Second)
+
+	want := len(c.subscribersOf(tp))
+	got := len(c.delivered[ev])
+	if got != want {
+		t.Errorf("delivered to %d of %d subscribers", got, want)
+	}
+}
+
+func TestMultiTopicFullDelivery(t *testing.T) {
+	topics := []TopicID{Topic("t0"), Topic("t1"), Topic("t2"), Topic("t3")}
+	c := newCluster(t, 48, Params{}, func(i int) []TopicID {
+		return []TopicID{topics[i%4], topics[(i+1)%4]}
+	})
+	c.run(45 * simnet.Second)
+
+	for k, tp := range topics {
+		pub := c.subscribersOf(tp)[k] // vary the publisher
+		ev := pub.Publish(tp)
+		c.run(15 * simnet.Second)
+		want := len(c.subscribersOf(tp))
+		if got := len(c.delivered[ev]); got != want {
+			t.Errorf("topic %d: delivered to %d of %d", k, got, want)
+		}
+	}
+}
+
+func TestNonSubscribersDontDeliver(t *testing.T) {
+	tp, other := Topic("a"), Topic("b")
+	c := newCluster(t, 30, Params{}, func(i int) []TopicID {
+		if i < 10 {
+			return []TopicID{tp}
+		}
+		return []TopicID{other}
+	})
+	c.run(40 * simnet.Second)
+	ev := c.subscribersOf(tp)[0].Publish(tp)
+	c.run(15 * simnet.Second)
+	for node := range c.delivered[ev] {
+		found := false
+		for _, nd := range c.subscribersOf(tp) {
+			if nd.ID() == node {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("non-subscriber %v delivered the event", node)
+		}
+	}
+}
+
+func TestGatewayElectionProducesGateway(t *testing.T) {
+	tp := Topic("g")
+	c := newCluster(t, 30, Params{}, func(i int) []TopicID { return []TopicID{tp} })
+	c.run(40 * simnet.Second)
+
+	gateways := 0
+	for _, nd := range c.nodes {
+		if nd.IsGateway(tp) {
+			gateways++
+		}
+	}
+	if gateways == 0 {
+		t.Error("no node considers itself gateway for the topic")
+	}
+	// Every subscriber should hold some proposal for its topic.
+	for i, nd := range c.nodes {
+		if _, ok := nd.ProposalFor(tp); !ok {
+			t.Errorf("node %d has no proposal", i)
+		}
+	}
+}
+
+func TestRendezvousExists(t *testing.T) {
+	tp := Topic("rv")
+	c := newCluster(t, 30, Params{}, func(i int) []TopicID {
+		if i%3 == 0 {
+			return []TopicID{tp}
+		}
+		return []TopicID{Topic("filler")}
+	})
+	c.run(40 * simnet.Second)
+	rendezvous := 0
+	for _, nd := range c.nodes {
+		if nd.IsRendezvous(tp) {
+			rendezvous++
+		}
+	}
+	if rendezvous == 0 {
+		t.Error("no rendezvous node holds state for the topic")
+	}
+}
+
+func TestProposalsConvergeTowardTopicID(t *testing.T) {
+	tp := Topic("conv")
+	c := newCluster(t, 24, Params{}, func(i int) []TopicID { return []TopicID{tp} })
+	c.run(40 * simnet.Second)
+	// In a (likely) single cluster of 24 nodes with d=5, most nodes should
+	// agree on a gateway close to hash(tp) — at minimum, every proposed GW
+	// must be a subscriber and hops must respect d.
+	for i, nd := range c.nodes {
+		p, ok := nd.ProposalFor(tp)
+		if !ok {
+			t.Fatalf("node %d: no proposal", i)
+		}
+		if p.Hops >= nd.params.GatewayHops {
+			t.Errorf("node %d proposal hops %d >= d", i, p.Hops)
+		}
+	}
+}
+
+func TestLeaveStopsDelivery(t *testing.T) {
+	tp := Topic("x")
+	c := newCluster(t, 20, Params{}, func(i int) []TopicID { return []TopicID{tp} })
+	c.run(30 * simnet.Second)
+
+	victim := c.nodes[5]
+	victim.Leave()
+	if victim.Alive() {
+		t.Fatal("victim still alive after Leave")
+	}
+	c.run(15 * simnet.Second) // let failure detection settle
+
+	ev := c.nodes[0].Publish(tp)
+	c.run(15 * simnet.Second)
+	if _, got := c.delivered[ev][victim.ID()]; got {
+		t.Error("departed node received the event")
+	}
+	// All remaining subscribers still get it.
+	want := len(c.subscribersOf(tp))
+	if got := len(c.delivered[ev]); got != want {
+		t.Errorf("delivered to %d of %d survivors", got, want)
+	}
+}
+
+func TestChurnRecovery(t *testing.T) {
+	tp := Topic("churny")
+	c := newCluster(t, 36, Params{}, func(i int) []TopicID { return []TopicID{tp} })
+	c.run(35 * simnet.Second)
+
+	// Kill a quarter of the nodes at once.
+	for i := 0; i < 9; i++ {
+		c.nodes[i*4].Leave()
+	}
+	c.run(25 * simnet.Second)
+
+	var pub *Node
+	for _, nd := range c.nodes {
+		if nd.Alive() {
+			pub = nd
+			break
+		}
+	}
+	ev := pub.Publish(tp)
+	c.run(20 * simnet.Second)
+	want := len(c.subscribersOf(tp))
+	if got := len(c.delivered[ev]); got != want {
+		t.Errorf("after churn: delivered to %d of %d", got, want)
+	}
+}
+
+func TestRejoinAfterLeave(t *testing.T) {
+	tp := Topic("back")
+	c := newCluster(t, 20, Params{}, func(i int) []TopicID { return []TopicID{tp} })
+	c.run(30 * simnet.Second)
+
+	old := c.nodes[3]
+	old.Leave()
+	c.run(15 * simnet.Second)
+
+	// Rejoin with the same id via a fresh node instance.
+	fresh := NewNode(c.net, old.ID(), Params{NetworkSizeEstimate: 20}, Hooks{
+		OnDeliver: func(node NodeID, topic TopicID, ev EventID, hops int) {
+			m := c.delivered[ev]
+			if m == nil {
+				m = make(map[NodeID]int)
+				c.delivered[ev] = m
+			}
+			m[node] = hops
+		},
+	})
+	fresh.Subscribe(tp)
+	fresh.Join([]NodeID{c.ids[0], c.ids[1]})
+	c.nodes[3] = fresh
+	c.run(25 * simnet.Second)
+
+	ev := c.nodes[0].Publish(tp)
+	c.run(15 * simnet.Second)
+	if _, ok := c.delivered[ev][fresh.ID()]; !ok {
+		t.Error("rejoined node missed the event")
+	}
+}
+
+func TestUnsubscribeEventuallyStopsDelivery(t *testing.T) {
+	tp := Topic("bye")
+	c := newCluster(t, 20, Params{}, func(i int) []TopicID { return []TopicID{tp} })
+	c.run(30 * simnet.Second)
+
+	quitter := c.nodes[7]
+	quitter.Unsubscribe(tp)
+	c.run(15 * simnet.Second) // let profiles propagate
+
+	ev := c.nodes[0].Publish(tp)
+	c.run(15 * simnet.Second)
+	if _, got := c.delivered[ev][quitter.ID()]; got {
+		t.Error("unsubscribed node still counted as delivery")
+	}
+}
+
+func TestDeliveryHopsPositive(t *testing.T) {
+	tp := Topic("hops")
+	c := newCluster(t, 30, Params{}, func(i int) []TopicID { return []TopicID{tp} })
+	c.run(35 * simnet.Second)
+	pub := c.nodes[0]
+	ev := pub.Publish(tp)
+	c.run(15 * simnet.Second)
+	for node, hops := range c.delivered[ev] {
+		if node == pub.ID() {
+			if hops != 0 {
+				t.Errorf("publisher hops = %d", hops)
+			}
+			continue
+		}
+		if hops < 1 {
+			t.Errorf("node %v delivered with hops %d", node, hops)
+		}
+	}
+}
+
+func TestSeenDeduplicates(t *testing.T) {
+	tp := Topic("dup")
+	c := newCluster(t, 16, Params{}, func(i int) []TopicID { return []TopicID{tp} })
+	c.run(30 * simnet.Second)
+	ev := c.nodes[0].Publish(tp)
+	c.run(15 * simnet.Second)
+	if !c.nodes[0].Seen(ev) {
+		t.Error("publisher should have seen its own event")
+	}
+	// OnDeliver double-fire is asserted inside the hook; reaching here
+	// without t.Errorf means dedup held.
+}
+
+func TestPublishOnUnsubscribedTopicStillRoutes(t *testing.T) {
+	// A publisher need not subscribe to the topic: the event must still
+	// reach subscribers through its relay/neighbor links once the overlay
+	// knows them. Publisher subscribes to something else entirely.
+	tp, mine := Topic("target"), Topic("mine")
+	c := newCluster(t, 30, Params{}, func(i int) []TopicID {
+		if i == 0 {
+			return []TopicID{mine}
+		}
+		return []TopicID{tp}
+	})
+	c.run(40 * simnet.Second)
+	ev := c.nodes[0].Publish(tp)
+	c.run(20 * simnet.Second)
+	want := len(c.subscribersOf(tp))
+	got := len(c.delivered[ev])
+	// The publisher is not subscribed, so it has no cluster links for tp;
+	// delivery flows through interested neighbors it happens to know.
+	// With 29 of 30 nodes subscribed, its routing table must contain
+	// interested neighbors.
+	if got < want {
+		t.Errorf("delivered to %d of %d", got, want)
+	}
+}
+
+func TestLateSubscriberStartsReceiving(t *testing.T) {
+	// §III-D: "When a node ... modifies its subscriptions, the friend
+	// selection mechanism in the proceeding rounds captures this change."
+	tp, other := Topic("late"), Topic("other")
+	c := newCluster(t, 24, Params{}, func(i int) []TopicID {
+		if i == 0 {
+			return []TopicID{other} // node 0 starts uninterested
+		}
+		return []TopicID{tp}
+	})
+	c.run(35 * simnet.Second)
+
+	late := c.nodes[0]
+	late.Subscribe(tp)
+	c.run(15 * simnet.Second) // profiles propagate, clusters re-form
+
+	ev := c.nodes[5].Publish(tp)
+	c.run(15 * simnet.Second)
+	if _, got := c.delivered[ev][late.ID()]; !got {
+		t.Error("late subscriber never received the event")
+	}
+}
+
+func TestManyTopicsPerNodeBoundedDegree(t *testing.T) {
+	// The paper's core scalability claim versus Rappel/Tera: the node
+	// degree stays at RTSize no matter how many topics a node subscribes
+	// to.
+	topics := make([]TopicID, 40)
+	for i := range topics {
+		topics[i] = Topic(string(rune('A' + i)))
+	}
+	c := newCluster(t, 20, Params{}, func(i int) []TopicID {
+		return topics // everyone subscribes to all 40 topics
+	})
+	c.run(35 * simnet.Second)
+	for i, nd := range c.nodes {
+		if d := len(nd.RoutingTable()); d > 15 {
+			t.Errorf("node %d degree %d despite 40 subscriptions", i, d)
+		}
+	}
+	// And delivery still works on an arbitrary topic.
+	ev := c.nodes[3].Publish(topics[17])
+	c.run(15 * simnet.Second)
+	if got := len(c.delivered[ev]); got != 20 {
+		t.Errorf("delivered to %d of 20", got)
+	}
+}

@@ -1,0 +1,133 @@
+// Package core implements the Vitis protocol — the paper's primary
+// contribution (§III).
+//
+// Every node keeps a bounded routing table holding three kinds of links:
+// ring links (one predecessor and one successor, giving lookup consistency),
+// k small-world links chosen Symphony-style with harmonically distributed
+// distances (giving O(1/k · log²N) greedy routing), and similarity links
+// ("friends") ranked by the Eq. 1 utility function over subscription overlap
+// weighted by publication rates. The table is built and maintained by
+// gossip: a Newscast-style peer sampling service feeds a T-Man exchanger
+// whose selection function is Algorithm 4.
+//
+// Because the table is bounded, a topic's subscribers split into disjoint
+// clusters. Nodes elect per-cluster gateways with the eventually consistent
+// proposal protocol of Algorithm 5 (piggybacked on the periodic profile
+// heartbeats of Algorithms 6–7); each gateway greedily looks up hash(topic),
+// turning the lookup path into a soft-state relay path that meets the paths
+// of the topic's other clusters at the rendezvous node. Published events
+// flood inside clusters and cross between them over the relay paths.
+package core
+
+import (
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+)
+
+// NodeID and TopicID live in the same identifier space (§III: "Node ids and
+// topic ids share the same identifier space").
+type (
+	// NodeID identifies a node.
+	NodeID = simnet.NodeID
+	// TopicID identifies a topic; it is the hash of the topic name.
+	TopicID = idspace.ID
+)
+
+// Topic hashes a topic name into the identifier space.
+func Topic(name string) TopicID { return idspace.HashString(name) }
+
+// Params are the protocol constants. Zero values take the paper's defaults
+// (§IV-A): routing table of 15, k = 1 small-world link (plus predecessor and
+// successor), gateway hop threshold d = 5, one-second gossip rounds.
+type Params struct {
+	// RTSize bounds the routing table (paper default 15).
+	RTSize int
+	// SWLinks is k, the number of small-world links beyond the two ring
+	// links. Fig. 4 sweeps the friend/sw split; after it the paper fixes
+	// one predecessor, one successor and one sw-neighbor.
+	SWLinks int
+	// GatewayHops is d, the maximum distance in hops from any cluster
+	// member to its gateway (paper default 5).
+	GatewayHops int
+	// GossipPeriod is δt for the T-Man routing-table exchange.
+	GossipPeriod simnet.Time
+	// HeartbeatPeriod is δt for the profile exchange (Algorithm 6), which
+	// also drives gateway election and relay refresh.
+	HeartbeatPeriod simnet.Time
+	// StaleAge is the number of missed heartbeats after which a neighbor
+	// is removed from the routing table (§III-D).
+	StaleAge int
+	// RelayLease is how long relay-path soft state survives without a
+	// refresh from a gateway lookup.
+	RelayLease simnet.Time
+	// LookupTTL caps greedy lookup lengths as a safety net while the ring
+	// is still converging.
+	LookupTTL int
+	// NetworkSizeEstimate is N in the Symphony harmonic distance draw.
+	NetworkSizeEstimate int
+	// SamplerViewSize and SampleSize configure the peer sampling layer.
+	SamplerViewSize int
+	SampleSize      int
+}
+
+// WithDefaults returns p with zero fields replaced by the paper defaults.
+func (p Params) WithDefaults() Params {
+	if p.RTSize == 0 {
+		p.RTSize = 15
+	}
+	if p.SWLinks == 0 {
+		p.SWLinks = 1
+	}
+	if p.GatewayHops == 0 {
+		p.GatewayHops = 5
+	}
+	if p.GossipPeriod == 0 {
+		p.GossipPeriod = simnet.Second
+	}
+	if p.HeartbeatPeriod == 0 {
+		p.HeartbeatPeriod = simnet.Second
+	}
+	if p.StaleAge == 0 {
+		p.StaleAge = 5
+	}
+	if p.RelayLease == 0 {
+		p.RelayLease = 4 * p.HeartbeatPeriod
+	}
+	if p.LookupTTL == 0 {
+		p.LookupTTL = 64
+	}
+	if p.NetworkSizeEstimate == 0 {
+		p.NetworkSizeEstimate = 10000
+	}
+	if p.SamplerViewSize == 0 {
+		p.SamplerViewSize = 20
+	}
+	if p.SampleSize == 0 {
+		p.SampleSize = 10
+	}
+	return p
+}
+
+// Friends returns how many routing-table slots remain for similarity links
+// after the ring and small-world links are placed.
+func (p Params) Friends() int {
+	f := p.RTSize - 2 - p.SWLinks
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Hooks are optional observation points used by the metrics layer; nil
+// functions are skipped. They fire on the node that experiences the event.
+type Hooks struct {
+	// OnDeliver fires when a subscribed node first receives an event.
+	OnDeliver func(node NodeID, topic TopicID, ev EventID, hops int)
+	// OnNotification fires for every data-plane notification received;
+	// interested reports whether the node subscribes to the topic (the
+	// paper's traffic-overhead metric counts the uninterested ones).
+	OnNotification func(node NodeID, topic TopicID, interested bool)
+	// OnPayload fires on a subscribed node when the pulled payload of a
+	// PublishData event arrives (§III-C's pull phase).
+	OnPayload func(node NodeID, ev EventID, payload []byte)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sort"
+
+	"vitis/internal/simnet"
+)
+
+// EventID uniquely identifies a published event.
+type EventID struct {
+	Publisher NodeID
+	Seq       uint64
+}
+
+// Proposal is one gateway proposal of Algorithm 5: the proposed gateway, the
+// neighbor the proposal was adopted from ("parent"), and the hop distance to
+// the gateway.
+type Proposal struct {
+	GW     NodeID
+	Parent NodeID
+	Hops   int
+}
+
+// Profile is the periodically exchanged node profile: identity,
+// subscription set and current gateway proposals (§III: "each node has a
+// profile, which includes a unique node id, and the id of topics that the
+// node subscribes to"; proposals piggyback on it per Algorithm 5).
+//
+// Profiles are treated as immutable once built, so a single value can be
+// shared across all heartbeats of one round.
+type Profile struct {
+	ID        NodeID
+	Subs      []TopicID // sorted
+	Proposals map[TopicID]Proposal
+}
+
+// Subscribed reports whether the profile's owner subscribes to t.
+func (p *Profile) Subscribed(t TopicID) bool {
+	i := sort.Search(len(p.Subs), func(i int) bool { return p.Subs[i] >= t })
+	return i < len(p.Subs) && p.Subs[i] == t
+}
+
+// Wire messages of the Vitis protocol (beyond the sampling and T-Man
+// layers).
+type (
+	// ProfileMsg is the heartbeat of Algorithms 6–7. Reply distinguishes
+	// the reactive response so the exchange terminates.
+	ProfileMsg struct {
+		Profile *Profile
+		Reply   bool
+	}
+
+	// RelayMsg constructs and refreshes a relay path: it is forwarded
+	// greedily toward hash(Topic), leaving child/parent soft state at
+	// every hop (§III-B).
+	RelayMsg struct {
+		Topic  TopicID
+		Origin NodeID // gateway that initiated the lookup
+		TTL    int
+	}
+
+	// Notification announces a published event (§III-C). Hops counts the
+	// overlay hops travelled so far; the harness uses it as the
+	// propagation-delay metric. HasData marks events whose payload must be
+	// pulled from the notification sender.
+	Notification struct {
+		Topic   TopicID
+		Event   EventID
+		Hops    int
+		HasData bool
+	}
+)
+
+// subsSummary is the T-Man descriptor payload: the subscription list used by
+// Algorithm 4's utility ranking. Kept as its own type so payload type
+// assertions are unambiguous.
+type subsSummary []TopicID
+
+// relayState is the per-topic soft state of a node on one or more relay
+// paths.
+type relayState struct {
+	hasParent    bool
+	parent       NodeID
+	parentExpiry simnet.Time
+	rendezvous   bool
+	rendezExpiry simnet.Time
+	children     map[NodeID]simnet.Time // child -> lease expiry
+}
+
+func (rs *relayState) freshParent(now simnet.Time) (NodeID, bool) {
+	if rs.hasParent && rs.parentExpiry > now {
+		return rs.parent, true
+	}
+	return 0, false
+}
+
+func (rs *relayState) freshChildren(now simnet.Time) []NodeID {
+	var out []NodeID
+	for c, exp := range rs.children {
+		if exp > now {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// expired reports whether the state carries no live information at all.
+func (rs *relayState) expired(now simnet.Time) bool {
+	if rs.hasParent && rs.parentExpiry > now {
+		return false
+	}
+	if rs.rendezvous && rs.rendezExpiry > now {
+		return false
+	}
+	for _, exp := range rs.children {
+		if exp > now {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,94 @@
+package core
+
+// Event payload transfer (§III-C): "A node that receives a notification,
+// pulls the event from the sender. ... The event is pulled from the same
+// path as the notification propagated along."
+//
+// Publish sends metadata-only notifications; PublishData additionally
+// attaches a payload. Each node that receives a HasData notification pulls
+// the payload from the notification's sender — including relay nodes, which
+// must hold the payload to serve the pulls of their own downstream — so the
+// payload travels hop-by-hop along the reverse notification paths.
+
+// Pull wire messages.
+type (
+	// PullReq asks the notification sender for an event's payload.
+	PullReq struct{ Event EventID }
+	// PullResp returns the payload.
+	PullResp struct {
+		Event   EventID
+		Payload []byte
+	}
+)
+
+// PublishData publishes an event carrying a payload. Subscribers receive
+// the payload through the OnPayload hook after their pull completes; the
+// OnDeliver hook still fires at notification time with the hop count.
+func (n *Node) PublishData(t TopicID, payload []byte) EventID {
+	ev := EventID{Publisher: n.id, Seq: n.pubSeq}
+	n.pubSeq++
+	n.seen.add(ev)
+	n.payloads[ev] = payload
+	if n.subs[t] {
+		if n.hooks.OnDeliver != nil {
+			n.hooks.OnDeliver(n.id, t, ev, 0)
+		}
+		if n.hooks.OnPayload != nil {
+			n.hooks.OnPayload(n.id, ev, payload)
+		}
+	}
+	n.forwardData(t, ev, 0, n.id, true)
+	return ev
+}
+
+// HasPayload reports whether the node has the payload of ev locally.
+func (n *Node) HasPayload(ev EventID) bool {
+	_, ok := n.payloads[ev]
+	return ok
+}
+
+// Payload returns the locally held payload of ev, if the node has pulled
+// (or published) it.
+func (n *Node) Payload(ev EventID) ([]byte, bool) {
+	p, ok := n.payloads[ev]
+	return p, ok
+}
+
+// startPull requests ev's payload from the node we heard the notification
+// from.
+func (n *Node) startPull(from NodeID, ev EventID) {
+	if _, have := n.payloads[ev]; have {
+		return
+	}
+	if n.pulling[ev] {
+		return
+	}
+	n.pulling[ev] = true
+	n.net.Send(n.id, from, PullReq{Event: ev})
+}
+
+func (n *Node) handlePullReq(from NodeID, m PullReq) {
+	if payload, ok := n.payloads[m.Event]; ok {
+		n.net.Send(n.id, from, PullResp{Event: m.Event, Payload: payload})
+		return
+	}
+	// Our own pull has not completed yet: remember the requester and
+	// serve it when the payload lands.
+	n.pullWaiters[m.Event] = append(n.pullWaiters[m.Event], from)
+}
+
+func (n *Node) handlePullResp(_ NodeID, m PullResp) {
+	if _, have := n.payloads[m.Event]; have {
+		return
+	}
+	n.payloads[m.Event] = m.Payload
+	delete(n.pulling, m.Event)
+	if n.hooks.OnPayload != nil && n.wantPayload[m.Event] {
+		n.hooks.OnPayload(n.id, m.Event, m.Payload)
+	}
+	delete(n.wantPayload, m.Event)
+	for _, waiter := range n.pullWaiters[m.Event] {
+		n.net.Send(n.id, waiter, PullResp{Event: m.Event, Payload: m.Payload})
+	}
+	delete(n.pullWaiters, m.Event)
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+)
+
+// requestRelay starts (or refreshes) the relay path from this gateway toward
+// the rendezvous node of t by greedily looking up hash(t) (§III-B: "When a
+// node recognizes itself as gateway for topic t, it initiates the relay path
+// construction by performing a lookup on hash(t)"). It is called every
+// heartbeat while the node remains gateway, which doubles as the soft-state
+// lease refresh of §III-D.
+func (n *Node) requestRelay(t TopicID) {
+	now := n.eng.Now()
+	rs := n.relayFor(t)
+	next, ok := n.closestNeighborTo(t)
+	if !ok {
+		// No neighbor is closer to hash(t) than we are: the gateway
+		// itself is the rendezvous node for its reachable region.
+		rs.rendezvous = true
+		rs.rendezExpiry = now + n.params.RelayLease
+		return
+	}
+	rs.hasParent = true
+	rs.parent = next
+	rs.parentExpiry = now + n.params.RelayLease
+	n.net.Send(n.id, next, RelayMsg{Topic: t, Origin: n.id, TTL: n.params.LookupTTL})
+}
+
+// handleRelay processes one hop of a relay-path lookup: record the sender as
+// a child for the topic, and either forward greedily toward hash(t) or, if
+// no neighbor is closer, become the rendezvous node.
+func (n *Node) handleRelay(from NodeID, m RelayMsg) {
+	now := n.eng.Now()
+	rs := n.relayFor(m.Topic)
+	if rs.children == nil {
+		rs.children = make(map[NodeID]simnet.Time)
+	}
+	rs.children[from] = now + n.params.RelayLease
+
+	if m.TTL <= 0 {
+		return
+	}
+	next, ok := n.closestNeighborTo(m.Topic)
+	if !ok {
+		rs.rendezvous = true
+		rs.rendezExpiry = now + n.params.RelayLease
+		return
+	}
+	rs.hasParent = true
+	rs.parent = next
+	rs.parentExpiry = now + n.params.RelayLease
+	n.net.Send(n.id, next, RelayMsg{Topic: m.Topic, Origin: m.Origin, TTL: m.TTL - 1})
+}
+
+// closestNeighborTo returns the routing-table neighbor strictly closer to
+// target than this node, minimising ring distance — one greedy step of the
+// small-world lookup. The second result is false when the node itself is
+// closest (lookup termination).
+func (n *Node) closestNeighborTo(target idspace.ID) (NodeID, bool) {
+	best := n.id
+	for _, d := range n.xchg.RT() {
+		if idspace.Closer(d.ID, best, target) {
+			best = d.ID
+		}
+	}
+	if best == n.id {
+		return 0, false
+	}
+	return best, true
+}
+
+func (n *Node) relayFor(t TopicID) *relayState {
+	rs, ok := n.relays[t]
+	if !ok {
+		rs = &relayState{children: make(map[NodeID]simnet.Time)}
+		n.relays[t] = rs
+	}
+	return rs
+}

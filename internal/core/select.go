@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"vitis/internal/idspace"
+	"vitis/internal/tman"
+)
+
+// Utility is the paper's Eq. 1 preference function: the publication-rate
+// mass of the subscription intersection divided by that of the union.
+// rate(t) weights each topic; a nil rate function means uniform rates, which
+// reduces the utility to the Jaccard overlap. mySubs is a set, theirSubs a
+// sorted list (as carried in profiles).
+func Utility(mySubs map[TopicID]bool, theirSubs []TopicID, rate func(TopicID) float64) float64 {
+	if len(mySubs) == 0 && len(theirSubs) == 0 {
+		return 0
+	}
+	r := rate
+	if r == nil {
+		r = func(TopicID) float64 { return 1 }
+	}
+	var inter, mine, theirs float64
+	for t := range mySubs {
+		mine += r(t)
+	}
+	for _, t := range theirSubs {
+		w := r(t)
+		theirs += w
+		if mySubs[t] {
+			inter += w
+		}
+	}
+	union := mine + theirs - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// harmonicDistance draws a clockwise ring distance from the Symphony
+// probability density p(x) ∝ 1/(x ln N) over normalized distances
+// [1/N, 1): x = N^(u-1) for u uniform in [0,1). Links drawn this way give
+// greedy routing in O(1/k · log²N) hops.
+func harmonicDistance(rng *rand.Rand, n int) uint64 {
+	if n < 2 {
+		n = 2
+	}
+	u := rng.Float64()
+	x := math.Pow(float64(n), u-1) // in [1/N, 1)
+	d := x * math.Pow(2, 64)
+	if d >= math.MaxUint64 {
+		return math.MaxUint64
+	}
+	if d < 1 {
+		return 1
+	}
+	return uint64(d)
+}
+
+// selectNeighbors is Algorithm 4. Given the deduplicated candidate buffer
+// (never containing self), it picks the successor, the predecessor, k
+// sw-neighbors at harmonically drawn distances, and fills the remaining
+// slots with the highest-utility friends.
+func (n *Node) selectNeighbors(buffer []tman.Descriptor) []tman.Descriptor {
+	if len(buffer) == 0 {
+		return nil
+	}
+	// Refresh subscription knowledge from payloads so utilities and
+	// dissemination see the freshest membership info, and drop candidates
+	// we recently detected as dead (their descriptors keep circulating).
+	now := n.eng.Now()
+	live := buffer[:0]
+	for _, d := range buffer {
+		if until, suspect := n.suspects[d.ID]; suspect && until > now {
+			continue
+		}
+		if subs, ok := d.Payload.(subsSummary); ok {
+			n.recordSubs(d.ID, subs)
+		}
+		live = append(live, d)
+	}
+	buffer = live
+	if len(buffer) == 0 {
+		return nil
+	}
+
+	selected := make([]tman.Descriptor, 0, n.params.RTSize)
+	used := make(map[NodeID]bool, n.params.RTSize)
+	take := func(d tman.Descriptor) {
+		selected = append(selected, d)
+		used[d.ID] = true
+	}
+
+	// Successor: minimal clockwise distance from self (Algorithm 4 line 2).
+	if succ, ok := argmin(buffer, used, func(d tman.Descriptor) uint64 {
+		return idspace.CWDistance(n.id, d.ID)
+	}); ok {
+		take(succ)
+	}
+	// Predecessor: minimal clockwise distance to self (line 5).
+	if pred, ok := argmin(buffer, used, func(d tman.Descriptor) uint64 {
+		return idspace.CWDistance(d.ID, n.id)
+	}); ok {
+		take(pred)
+	}
+	// k sw-neighbors at RANDOM-DISTANCE (line 8).
+	for i := 0; i < n.params.SWLinks; i++ {
+		target := n.id + idspace.ID(harmonicDistance(n.rng, n.params.NetworkSizeEstimate))
+		if sw, ok := argmin(buffer, used, func(d tman.Descriptor) uint64 {
+			return idspace.Distance(d.ID, target)
+		}); ok {
+			take(sw)
+		}
+	}
+	// Friends by descending utility (lines 11–15); ties break on id for
+	// determinism. Candidates with unknown subscriptions score zero but
+	// can still fill otherwise-empty slots, keeping young overlays
+	// connected.
+	rest := make([]tman.Descriptor, 0, len(buffer))
+	for _, d := range buffer {
+		if !used[d.ID] {
+			rest = append(rest, d)
+		}
+	}
+	util := make(map[NodeID]float64, len(rest))
+	for _, d := range rest {
+		u := Utility(n.subs, n.subsOf(d), n.rate)
+		if n.proximity != nil && n.proximityWeight > 0 {
+			u = (1-n.proximityWeight)*u + n.proximityWeight*n.proximity(d.ID)
+		}
+		util[d.ID] = u
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		ui, uj := util[rest[i].ID], util[rest[j].ID]
+		if ui != uj {
+			return ui > uj
+		}
+		return rest[i].ID < rest[j].ID
+	})
+	for _, d := range rest {
+		if len(selected) >= n.params.RTSize {
+			break
+		}
+		take(d)
+	}
+	return selected
+}
+
+// subsOf extracts a candidate's subscription list from its descriptor
+// payload, falling back to the profile store for candidates whose payload
+// has not propagated yet.
+func (n *Node) subsOf(d tman.Descriptor) []TopicID {
+	if subs, ok := d.Payload.(subsSummary); ok {
+		return subs
+	}
+	if p, ok := n.profiles[d.ID]; ok {
+		return p.Subs
+	}
+	if subs, ok := n.knownSubs[d.ID]; ok {
+		return subs
+	}
+	return nil
+}
+
+func argmin(buffer []tman.Descriptor, used map[NodeID]bool, key func(tman.Descriptor) uint64) (tman.Descriptor, bool) {
+	var best tman.Descriptor
+	bestKey := uint64(math.MaxUint64)
+	found := false
+	for _, d := range buffer {
+		if used[d.ID] {
+			continue
+		}
+		k := key(d)
+		if !found || k < bestKey || (k == bestKey && d.ID < best.ID) {
+			best, bestKey, found = d, k, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,27 @@
+package core
+
+// Wire-size estimates for bandwidth accounting (simnet.Sized). Ids are 8
+// bytes; an EventID is 16; a Proposal is 8+8+4.
+
+// WireSize implements simnet.Sized.
+func (m ProfileMsg) WireSize() int {
+	if m.Profile == nil {
+		return 1
+	}
+	return 1 + 8 + 8*len(m.Profile.Subs) + (8+20)*len(m.Profile.Proposals)
+}
+
+// WireSize implements simnet.Sized.
+func (m RelayMsg) WireSize() int { return 8 + 8 + 4 }
+
+// WireSize implements simnet.Sized.
+func (m Notification) WireSize() int { return 8 + 16 + 4 + 1 }
+
+// WireSize implements simnet.Sized.
+func (m PullReq) WireSize() int { return 16 }
+
+// WireSize implements simnet.Sized.
+func (m PullResp) WireSize() int { return 16 + len(m.Payload) }
+
+// WireSize makes subscription summaries measurable inside T-Man buffers.
+func (s subsSummary) WireSize() int { return 8 * len(s) }

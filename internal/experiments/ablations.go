@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vitis/internal/tablefmt"
+	"vitis/internal/workload"
+)
+
+// DelayScaling checks the §III-B claim that Vitis's propagation delay is
+// bounded by O(log²N + d): the measured average delay divided by log²N
+// should stay roughly flat (or shrink) as the network grows.
+func DelayScaling(sc Scale) (*tablefmt.Table, error) {
+	tab := &tablefmt.Table{
+		Title:   "Ablation — delay scaling vs network size (bound: O(log^2 N + d))",
+		Columns: []string{"N", "avg delay", "log2(N)^2", "delay / log2(N)^2"},
+	}
+	for _, n := range []int{64, 128, 256, 512} {
+		subs, err := workload.Generate(workload.SyntheticConfig{
+			Nodes:       n,
+			Topics:      sc.Topics,
+			SubsPerNode: sc.SubsPerNode,
+			Buckets:     sc.Buckets,
+			Pattern:     workload.LowCorrelation,
+			Seed:        sc.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg := sc.runCfg()
+		cfg.System = Vitis
+		cfg.Subs = subs
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		l2 := math.Pow(math.Log2(float64(n)), 2)
+		tab.AddRow(fmt.Sprint(n), tablefmt.F(res.AvgDelay, 2), tablefmt.F(l2, 1),
+			tablefmt.F(res.AvgDelay/l2, 4))
+	}
+	tab.AddNote("the last column must not grow with N if the O(log^2 N) bound holds")
+	return tab, nil
+}
+
+// GatewayThreshold sweeps the gateway hop threshold d, the knob trading
+// per-cluster gateway count (traffic) against intra-cluster delay (§III-B).
+func GatewayThreshold(sc Scale) (*tablefmt.Table, error) {
+	subs, err := sc.subscriptions(workload.HighCorrelation)
+	if err != nil {
+		return nil, err
+	}
+	tab := &tablefmt.Table{
+		Title:   "Ablation — gateway hop threshold d",
+		Columns: []string{"d", "hit", "overhead", "delay(hops)"},
+	}
+	for _, d := range []int{2, 3, 5, 8, 12} {
+		cfg := sc.runCfg()
+		cfg.System = Vitis
+		cfg.Subs = subs
+		cfg.GatewayHops = d
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(fmt.Sprint(d), tablefmt.Pct(res.HitRatio),
+			tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2))
+	}
+	tab.AddNote("small d elects more gateways per cluster (more relay paths, robustness, overhead); large d stretches intra-cluster delivery")
+	return tab, nil
+}
+
+// RateAwareness compares the Eq. 1 utility with and without the
+// publication-rate weighting under skewed rates — the design choice §III-A2
+// motivates.
+func RateAwareness(sc Scale) (*tablefmt.Table, error) {
+	subs, err := sc.subscriptions(workload.Random)
+	if err != nil {
+		return nil, err
+	}
+	tab := &tablefmt.Table{
+		Title:   "Ablation — Eq. 1 with vs without rate weighting (alpha=2 skew)",
+		Columns: []string{"utility", "hit", "overhead", "delay(hops)"},
+	}
+	rates := workload.TopicRates(rand.New(rand.NewSource(sc.Seed+8)), sc.Topics, 2)
+
+	// Rate-aware: nodes know the true rates.
+	cfg := sc.runCfg()
+	cfg.System = Vitis
+	cfg.Subs = subs
+	cfg.Rates = rates
+	aware, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tab.AddRow("rate-weighted", tablefmt.Pct(aware.HitRatio),
+		tablefmt.Pct(aware.Overhead), tablefmt.F(aware.AvgDelay, 2))
+
+	// Rate-oblivious: same skewed schedule, but nodes cluster by plain
+	// Jaccard overlap.
+	cfg.RateOblivious = true
+	oblivious, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tab.AddRow("unweighted", tablefmt.Pct(oblivious.HitRatio),
+		tablefmt.Pct(oblivious.Overhead), tablefmt.F(oblivious.AvgDelay, 2))
+	tab.AddNote("rate weighting should reduce overhead: clusters form around the topics that actually carry events")
+	return tab, nil
+}
+
+// LossResilience stresses the gossip stack with independent message loss:
+// §III-D argues the failure-detection threshold trades responsiveness for
+// false-positive robustness under congestion, and the comparison with
+// Magnet claims Vitis "is very robust due to the underlying gossip
+// protocol". Delivery should degrade gracefully as loss grows because
+// cluster flooding is redundant and relay leases keep being refreshed.
+func LossResilience(sc Scale) (*tablefmt.Table, error) {
+	subs, err := sc.subscriptions(workload.LowCorrelation)
+	if err != nil {
+		return nil, err
+	}
+	tab := &tablefmt.Table{
+		Title:   "Ablation — resilience to message loss",
+		Columns: []string{"loss", "system", "hit", "overhead", "delay(hops)"},
+	}
+	for _, loss := range []float64{0, 0.02, 0.05, 0.10} {
+		for _, sys := range []System{Vitis, RVR} {
+			cfg := sc.runCfg()
+			cfg.System = sys
+			cfg.Subs = subs
+			cfg.LossProb = loss
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRow(tablefmt.Pct(loss), sys.String(), tablefmt.Pct(res.HitRatio),
+				tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2))
+		}
+	}
+	tab.AddNote("redundant cluster flooding should keep Vitis's hit ratio high under moderate loss; RVR's single tree path is more fragile")
+	return tab, nil
+}
+
+// ProximityAwareness evaluates the §III-A2 physical-topology extension: a
+// coordinate-based latency model replaces the uniform one, and the
+// preference function blends proximity into the utility with increasing
+// weight. The average physical latency per data-plane link should drop as
+// the weight grows, at some cost in overhead (less interest-pure clusters).
+func ProximityAwareness(sc Scale) (*tablefmt.Table, error) {
+	subs, err := sc.subscriptions(workload.HighCorrelation)
+	if err != nil {
+		return nil, err
+	}
+	tab := &tablefmt.Table{
+		Title:   "Ablation — physical-topology extension of the preference function",
+		Columns: []string{"proximity-weight", "hit", "overhead", "delay(hops)", "link-latency(ms)"},
+	}
+	for _, w := range []float64{0, 0.3, 0.6} {
+		cfg := sc.runCfg()
+		cfg.System = Vitis
+		cfg.Subs = subs
+		cfg.UseCoordinates = true
+		cfg.ProximityWeight = w
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(tablefmt.F(w, 1), tablefmt.Pct(res.HitRatio),
+			tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2),
+			tablefmt.F(res.AvgNotifLatencyMs, 1))
+	}
+	tab.AddNote("higher weight trades interest purity (overhead) for shorter physical links")
+	return tab, nil
+}

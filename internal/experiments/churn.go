@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vitis/internal/core"
+	"vitis/internal/idspace"
+	"vitis/internal/metrics"
+	"vitis/internal/opt"
+	"vitis/internal/rvr"
+	"vitis/internal/simnet"
+	"vitis/internal/workload"
+)
+
+// ChurnRunConfig describes a dynamic-membership run (Fig. 12): nodes join
+// and leave according to a trace while events are published continuously.
+type ChurnRunConfig struct {
+	System System
+	Subs   *workload.Subscriptions
+	// Trace holds sessions whose Node field is the node *index*.
+	Trace simnet.Trace
+	// PublishEvery is the interval between published events.
+	PublishEvery simnet.Time
+	// Bucket is the time-series bucket width.
+	Bucket simnet.Time
+	// MinMembership is how long a node must have been in before it counts
+	// as an expected receiver (§IV-E/F: "the hit ratio for a node is
+	// calculated 10 seconds after the node joins the system").
+	MinMembership simnet.Time
+
+	RTSize       int
+	SWLinks      int
+	GatewayHops  int
+	OPTMaxDegree int
+
+	Seed int64
+}
+
+// ChurnResult carries the collector (with its time series) and the sampled
+// network size.
+type ChurnResult struct {
+	Collector *metrics.Collector
+	// SizeSeries samples the alive-node count every Bucket.
+	SizeSeries []metrics.SeriesPoint
+}
+
+// RunChurn replays the trace over the chosen system.
+func RunChurn(cfg ChurnRunConfig) (*ChurnResult, error) {
+	if cfg.Subs == nil || len(cfg.Trace) == 0 {
+		return nil, fmt.Errorf("experiments: churn config needs Subs and Trace")
+	}
+	if cfg.PublishEvery <= 0 {
+		cfg.PublishEvery = 2 * simnet.Second
+	}
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = 50 * simnet.Second
+	}
+	if cfg.MinMembership == 0 {
+		cfg.MinMembership = 10 * simnet.Second
+	}
+
+	n := cfg.Subs.Nodes
+	eng := simnet.NewEngine(cfg.Seed + 3)
+	net := simnet.NewNetwork(eng, simnet.UniformLatency{Min: 10, Max: 80})
+	col := metrics.NewWithSeries(cfg.Bucket, eng.Now)
+	rng := rand.New(rand.NewSource(cfg.Seed + 4))
+
+	tids := topicIDs(cfg.Subs.Topics)
+	nids := nodeIDs(n)
+	subsOf := cfg.Subs.SubscribersOf()
+
+	nodes := make([]pubsubNode, n) // nil when down
+	pubs := make([]publisher, n)   // parallel to nodes
+	joinedAt := make([]simnet.Time, n)
+	aliveIdx := make(map[int]bool)
+
+	deliver := func(node simnet.NodeID, _ idspace.ID, ev any, hops int) {
+		col.Deliver(ev, node, hops)
+	}
+	notify := func(node simnet.NodeID, _ idspace.ID, interested bool) {
+		col.Notification(node, interested)
+	}
+
+	spawn := func(i int) (pubsubNode, publisher) {
+		switch cfg.System {
+		case Vitis:
+			nd := core.NewNode(net, nids[i], core.Params{
+				RTSize:              cfg.RTSize,
+				SWLinks:             cfg.SWLinks,
+				GatewayHops:         cfg.GatewayHops,
+				NetworkSizeEstimate: n,
+			}, core.Hooks{
+				OnDeliver: func(node core.NodeID, topic core.TopicID, ev core.EventID, hops int) {
+					deliver(node, topic, ev, hops)
+				},
+				OnNotification: notify,
+			})
+			return vitisNode{nd}, vitisNode{nd}
+		case RVR:
+			nd := rvr.NewNode(net, nids[i], rvr.Params{
+				RTSize:              cfg.RTSize,
+				NetworkSizeEstimate: n,
+			}, rvr.Hooks{
+				OnDeliver: func(node rvr.NodeID, topic rvr.TopicID, ev rvr.EventID, hops int) {
+					deliver(node, topic, ev, hops)
+				},
+				OnNotification: notify,
+			})
+			return rvrNode{nd}, rvrNode{nd}
+		default:
+			nd := opt.NewNode(net, nids[i], opt.Params{
+				MaxDegree: cfg.OPTMaxDegree,
+			}, opt.Hooks{
+				OnDeliver: func(node opt.NodeID, topic opt.TopicID, ev opt.EventID, hops int) {
+					deliver(node, topic, ev, hops)
+				},
+				OnNotification: notify,
+			})
+			return optNode{nd}, optNode{nd}
+		}
+	}
+
+	onJoin := func(id simnet.NodeID) {
+		i := int(id)
+		nd, pb := spawn(i)
+		for _, ti := range cfg.Subs.Subs[i] {
+			nd.Subscribe(tids[ti])
+		}
+		// Bootstrap from up to 3 random alive nodes; the very first node
+		// starts alone. Iterate a sorted snapshot so runs stay
+		// deterministic (map order is randomized by the runtime).
+		alive := sortedKeys(aliveIdx)
+		var boot []simnet.NodeID
+		if len(alive) <= 3 {
+			for _, j := range alive {
+				boot = append(boot, nids[j])
+			}
+		} else {
+			for _, k := range rng.Perm(len(alive))[:3] {
+				boot = append(boot, nids[alive[k]])
+			}
+		}
+		nd.Join(boot)
+		nodes[i], pubs[i] = nd, pb
+		joinedAt[i] = eng.Now()
+		aliveIdx[i] = true
+	}
+	onLeave := func(id simnet.NodeID) {
+		i := int(id)
+		if nodes[i] != nil {
+			nodes[i].Leave()
+			nodes[i], pubs[i] = nil, nil
+		}
+		delete(aliveIdx, i)
+	}
+	simnet.ApplyTrace(eng, cfg.Trace, onJoin, onLeave)
+
+	end := cfg.Trace.End()
+
+	// Continuous publication: every PublishEvery, publish one event on a
+	// random topic that has an eligible publisher.
+	eng.Every(cfg.PublishEvery, func() bool {
+		if eng.Now() >= end {
+			return false
+		}
+		if len(aliveIdx) == 0 {
+			return true
+		}
+		now := eng.Now()
+		eligible := func(i int) bool {
+			return nodes[i] != nil && nodes[i].Alive() && now-joinedAt[i] >= cfg.MinMembership
+		}
+		// Try a few random topics until one has an eligible publisher.
+		for attempt := 0; attempt < 8; attempt++ {
+			ti := rng.Intn(cfg.Subs.Topics)
+			var candidates []int
+			for _, si := range subsOf[ti] {
+				if eligible(si) {
+					candidates = append(candidates, si)
+				}
+			}
+			if len(candidates) == 0 {
+				continue
+			}
+			pubIdx := candidates[rng.Intn(len(candidates))]
+			topic := tids[ti]
+			expected := make([]simnet.NodeID, 0, len(candidates))
+			for _, si := range candidates {
+				expected = append(expected, nids[si])
+			}
+			ev := pubs[pubIdx].publish(topic)
+			col.RecordPublish(ev, topic, now, expected)
+			// The publisher's own delivery hook fired inside publish,
+			// before the event was registered; re-record it.
+			col.Deliver(ev, nids[pubIdx], 0)
+			return true
+		}
+		return true
+	})
+
+	// Sample the network size each bucket.
+	var sizes []metrics.SeriesPoint
+	eng.Every(cfg.Bucket, func() bool {
+		sizes = append(sizes, metrics.SeriesPoint{Start: eng.Now(), Value: float64(net.NumAlive())})
+		return eng.Now() < end
+	})
+
+	eng.RunUntil(end + 20*simnet.Second)
+
+	return &ChurnResult{Collector: col, SizeSeries: sizes}, nil
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vitis/internal/core"
+	"vitis/internal/overlay"
+	"vitis/internal/tablefmt"
+	"vitis/internal/workload"
+)
+
+// ClusterAnalysis quantifies the Fig. 1 phenomenon and the mechanism behind
+// Fig. 4: because the routing table is bounded, every topic fragments into
+// several disjoint clusters, and the number of clusters shrinks (clusters
+// merge and grow) as interest correlation rises or the friend budget grows.
+func ClusterAnalysis(sc Scale) (*tablefmt.Table, error) {
+	tab := &tablefmt.Table{
+		Title: "Ablation — per-topic cluster structure after convergence",
+		Columns: []string{"pattern", "friends", "clusters/topic", "max", "mean-size",
+			"mean-diameter", "singletons"},
+	}
+	const rtSize = 15
+	for _, pat := range patterns {
+		for _, friends := range []int{4, 12} {
+			subs, err := sc.subscriptions(pat)
+			if err != nil {
+				return nil, err
+			}
+			var snap *overlay.Snapshot
+			cfg := sc.runCfg()
+			cfg.System = Vitis
+			cfg.Subs = subs
+			cfg.RTSize = rtSize
+			cfg.SWLinks = rtSize - 2 - friends
+			cfg.Events = 1 // structure is what we measure here
+			cfg.InspectVitis = func(nodes []*core.Node) { snap = overlay.Capture(nodes) }
+			if _, err := Run(cfg); err != nil {
+				return nil, err
+			}
+			tids := topicIDs(subs.Topics)
+			// Analyse a sample of topics with subscribers to keep the
+			// BFS work bounded.
+			sample := make([]core.TopicID, 0, 64)
+			for ti, nodesOf := range subs.SubscribersOf() {
+				if len(nodesOf) > 0 {
+					sample = append(sample, tids[ti])
+					if len(sample) == 64 {
+						break
+					}
+				}
+			}
+			st := snap.Analyze(sample)
+			tab.AddRow(pat.String(), fmt.Sprint(friends),
+				tablefmt.F(st.MeanPerTopic, 2), fmt.Sprint(st.MaxPerTopic),
+				tablefmt.F(st.MeanClusterSize, 1), tablefmt.F(st.MeanDiameter, 2),
+				fmt.Sprint(st.Singletons))
+		}
+	}
+	tab.AddNote("more friends and higher correlation must both reduce clusters/topic (fewer, bigger clusters — the Fig. 4 mechanism)")
+	return tab, nil
+}
+
+// patternsForClusterTest exports the pattern list for tests.
+func patternsForClusterTest() []workload.Pattern { return patterns }

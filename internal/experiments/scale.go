@@ -1,0 +1,117 @@
+package experiments
+
+import "vitis/internal/simnet"
+
+// Scale bundles the workload sizes shared by the figure drivers. The default
+// scale runs every figure in seconds on a laptop; Paper() switches to the
+// paper's 10,000-node configuration (minutes to hours).
+type Scale struct {
+	// Synthetic-pattern experiments (Figs. 4–7).
+	Nodes       int // population size
+	Topics      int // topic universe
+	SubsPerNode int // subscriptions per node
+	Buckets     int // correlation buckets
+
+	// Per-run schedule.
+	Events        int
+	WarmupRounds  int
+	MeasureRounds int
+
+	// Twitter experiments (Figs. 8–11).
+	TwitterUsers  int // size of the generated follower graph
+	TwitterSample int // BFS sample used as the overlay population
+
+	// Churn experiment (Fig. 12).
+	ChurnNodes        int
+	ChurnDuration     simnet.Time
+	ChurnFlashAt      simnet.Time
+	ChurnBucket       simnet.Time
+	ChurnPublishEvery simnet.Time
+
+	Seed int64
+}
+
+// Default returns the scaled-down configuration: 512 nodes, 1000 topics in
+// 20 buckets of 50 (preserving the paper's 50-topic buckets so the
+// correlation patterns keep their structure).
+func Default() Scale {
+	return Scale{
+		Nodes:       512,
+		Topics:      1000,
+		SubsPerNode: 50,
+		Buckets:     20,
+
+		Events:        120,
+		WarmupRounds:  40,
+		MeasureRounds: 20,
+
+		TwitterUsers:  4096,
+		TwitterSample: 512,
+
+		ChurnNodes:        256,
+		ChurnDuration:     600 * simnet.Second,
+		ChurnFlashAt:      400 * simnet.Second,
+		ChurnBucket:       50 * simnet.Second,
+		ChurnPublishEvery: 2 * simnet.Second,
+
+		Seed: 1,
+	}
+}
+
+// Small returns a quarter-size configuration (256 nodes) whose full figure
+// suite completes in ~15 minutes on one core while keeping every
+// qualitative shape of the default scale.
+func Small() Scale {
+	s := Default()
+	s.Nodes = 256
+	s.Events = 100
+	s.TwitterUsers = 2048
+	s.TwitterSample = 256
+	s.ChurnNodes = 160
+	return s
+}
+
+// Paper returns the paper-scale configuration of §IV-A: 10,000 nodes, 5000
+// topics in 100 buckets, 50 subscriptions per node, and the ~10,000-node
+// Twitter sample.
+func Paper() Scale {
+	s := Default()
+	s.Nodes = 10000
+	s.Topics = 5000
+	s.Buckets = 100
+	s.Events = 1000
+	s.WarmupRounds = 120
+	s.MeasureRounds = 60
+	s.TwitterUsers = 100000
+	s.TwitterSample = 10000
+	s.ChurnNodes = 4000
+	s.ChurnDuration = 1400 * simnet.Second // one "hour" of the trace per simulated second
+	s.ChurnFlashAt = 1000 * simnet.Second
+	s.ChurnBucket = 100 * simnet.Second
+	return s
+}
+
+// Tiny returns a minimal configuration for unit tests of the drivers.
+func Tiny() Scale {
+	return Scale{
+		Nodes:       96,
+		Topics:      40,
+		SubsPerNode: 10,
+		Buckets:     8,
+
+		Events:        30,
+		WarmupRounds:  30,
+		MeasureRounds: 10,
+
+		TwitterUsers:  600,
+		TwitterSample: 96,
+
+		ChurnNodes:        64,
+		ChurnDuration:     240 * simnet.Second,
+		ChurnFlashAt:      160 * simnet.Second,
+		ChurnBucket:       40 * simnet.Second,
+		ChurnPublishEvery: 2 * simnet.Second,
+
+		Seed: 1,
+	}
+}

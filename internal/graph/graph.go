@@ -1,0 +1,279 @@
+// Package graph provides the lightweight graph algorithms the Vitis
+// reproduction needs for analysis: connected components (topic clusters are
+// maximal connected subgraphs of subscribers), BFS distances and eccentricity
+// (cluster diameters drive the number of gateways), and degree statistics
+// (Figs. 8 and 11).
+//
+// Graphs are adjacency maps keyed by an ordered comparable vertex type so the
+// same code serves node-id graphs and index graphs.
+package graph
+
+import "sort"
+
+// Undirected is an undirected graph as an adjacency set.
+type Undirected[V comparable] struct {
+	adj map[V]map[V]struct{}
+}
+
+// NewUndirected returns an empty undirected graph.
+func NewUndirected[V comparable]() *Undirected[V] {
+	return &Undirected[V]{adj: make(map[V]map[V]struct{})}
+}
+
+// AddVertex ensures v exists in the graph.
+func (g *Undirected[V]) AddVertex(v V) {
+	if _, ok := g.adj[v]; !ok {
+		g.adj[v] = make(map[V]struct{})
+	}
+}
+
+// AddEdge inserts the undirected edge {a, b}, creating the vertices if
+// needed. Self-loops are ignored.
+func (g *Undirected[V]) AddEdge(a, b V) {
+	if a == b {
+		g.AddVertex(a)
+		return
+	}
+	g.AddVertex(a)
+	g.AddVertex(b)
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+}
+
+// HasEdge reports whether the edge {a, b} is present.
+func (g *Undirected[V]) HasEdge(a, b V) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// NumVertices returns the vertex count.
+func (g *Undirected[V]) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the undirected edge count.
+func (g *Undirected[V]) NumEdges() int {
+	var n int
+	for _, nbrs := range g.adj {
+		n += len(nbrs)
+	}
+	return n / 2
+}
+
+// Degree returns the degree of v (0 if absent).
+func (g *Undirected[V]) Degree(v V) int { return len(g.adj[v]) }
+
+// Neighbors returns the neighbor set of v as a slice (order unspecified).
+func (g *Undirected[V]) Neighbors(v V) []V {
+	out := make([]V, 0, len(g.adj[v]))
+	for n := range g.adj[v] {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Vertices returns all vertices (order unspecified).
+func (g *Undirected[V]) Vertices() []V {
+	out := make([]V, 0, len(g.adj))
+	for v := range g.adj {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Components returns the connected components of the graph. Each component
+// is a slice of its vertices; component and vertex order are unspecified.
+func (g *Undirected[V]) Components() [][]V {
+	seen := make(map[V]bool, len(g.adj))
+	var comps [][]V
+	for v := range g.adj {
+		if seen[v] {
+			continue
+		}
+		var comp []V
+		queue := []V{v}
+		seen[v] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for w := range g.adj[u] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// BFSDistances returns the hop distance from src to every reachable vertex,
+// including src itself at distance 0.
+func (g *Undirected[V]) BFSDistances(src V) map[V]int {
+	dist := map[V]int{src: 0}
+	if _, ok := g.adj[src]; !ok {
+		return dist
+	}
+	queue := []V{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for w := range g.adj[u] {
+			if _, ok := dist[w]; !ok {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the greatest BFS distance from src to any vertex
+// reachable from it.
+func (g *Undirected[V]) Eccentricity(src V) int {
+	var ecc int
+	for _, d := range g.BFSDistances(src) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// ComponentDiameter computes the exact diameter (longest shortest path) of
+// the component containing src by running BFS from every vertex of that
+// component. Intended for the modest cluster sizes seen in the experiments.
+func (g *Undirected[V]) ComponentDiameter(src V) int {
+	comp := g.componentOf(src)
+	var diam int
+	for _, v := range comp {
+		if e := g.Eccentricity(v); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+func (g *Undirected[V]) componentOf(src V) []V {
+	dist := g.BFSDistances(src)
+	out := make([]V, 0, len(dist))
+	for v := range dist {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Degrees returns the multiset of vertex degrees, sorted ascending.
+func (g *Undirected[V]) Degrees() []int {
+	out := make([]int, 0, len(g.adj))
+	for _, nbrs := range g.adj {
+		out = append(out, len(nbrs))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Directed is a directed graph as an adjacency set. It backs the
+// Twitter-like follower graph, where an edge u→v means "u follows v".
+type Directed[V comparable] struct {
+	out map[V]map[V]struct{}
+	in  map[V]map[V]struct{}
+}
+
+// NewDirected returns an empty directed graph.
+func NewDirected[V comparable]() *Directed[V] {
+	return &Directed[V]{out: make(map[V]map[V]struct{}), in: make(map[V]map[V]struct{})}
+}
+
+// AddVertex ensures v exists.
+func (g *Directed[V]) AddVertex(v V) {
+	if _, ok := g.out[v]; !ok {
+		g.out[v] = make(map[V]struct{})
+	}
+	if _, ok := g.in[v]; !ok {
+		g.in[v] = make(map[V]struct{})
+	}
+}
+
+// AddEdge inserts the directed edge a→b. Self-loops are ignored.
+func (g *Directed[V]) AddEdge(a, b V) {
+	if a == b {
+		g.AddVertex(a)
+		return
+	}
+	g.AddVertex(a)
+	g.AddVertex(b)
+	g.out[a][b] = struct{}{}
+	g.in[b][a] = struct{}{}
+}
+
+// HasEdge reports whether a→b is present.
+func (g *Directed[V]) HasEdge(a, b V) bool {
+	_, ok := g.out[a][b]
+	return ok
+}
+
+// NumVertices returns the vertex count.
+func (g *Directed[V]) NumVertices() int { return len(g.out) }
+
+// NumEdges returns the directed edge count.
+func (g *Directed[V]) NumEdges() int {
+	var n int
+	for _, nbrs := range g.out {
+		n += len(nbrs)
+	}
+	return n
+}
+
+// OutDegree returns |{v : u→v}|.
+func (g *Directed[V]) OutDegree(u V) int { return len(g.out[u]) }
+
+// InDegree returns |{v : v→u}|.
+func (g *Directed[V]) InDegree(u V) int { return len(g.in[u]) }
+
+// Successors returns the targets of u's out-edges (order unspecified).
+func (g *Directed[V]) Successors(u V) []V {
+	out := make([]V, 0, len(g.out[u]))
+	for v := range g.out[u] {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Predecessors returns the sources of u's in-edges (order unspecified).
+func (g *Directed[V]) Predecessors(u V) []V {
+	out := make([]V, 0, len(g.in[u]))
+	for v := range g.in[u] {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Vertices returns all vertices (order unspecified).
+func (g *Directed[V]) Vertices() []V {
+	out := make([]V, 0, len(g.out))
+	for v := range g.out {
+		out = append(out, v)
+	}
+	return out
+}
+
+// OutDegrees returns the multiset of out-degrees, sorted ascending.
+func (g *Directed[V]) OutDegrees() []int {
+	out := make([]int, 0, len(g.out))
+	for _, nbrs := range g.out {
+		out = append(out, len(nbrs))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InDegrees returns the multiset of in-degrees, sorted ascending.
+func (g *Directed[V]) InDegrees() []int {
+	out := make([]int, 0, len(g.in))
+	for _, nbrs := range g.in {
+		out = append(out, len(nbrs))
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,265 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func pathGraph(n int) *Undirected[int] {
+	g := NewUndirected[int]()
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestUndirectedBasics(t *testing.T) {
+	g := NewUndirected[string]()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	if !g.HasEdge("a", "b") || !g.HasEdge("b", "a") {
+		t.Error("edge should be symmetric")
+	}
+	if g.HasEdge("a", "c") {
+		t.Error("no a-c edge expected")
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Errorf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Degree("b") != 2 || g.Degree("a") != 1 || g.Degree("zzz") != 0 {
+		t.Error("bad degrees")
+	}
+}
+
+func TestUndirectedSelfLoopIgnored(t *testing.T) {
+	g := NewUndirected[int]()
+	g.AddEdge(1, 1)
+	if g.NumVertices() != 1 || g.NumEdges() != 0 {
+		t.Errorf("V=%d E=%d after self-loop", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestUndirectedDuplicateEdge(t *testing.T) {
+	g := NewUndirected[int]()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1)
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := NewUndirected[int]()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(10, 11)
+	g.AddVertex(99)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	sizes := []int{}
+	for _, c := range comps {
+		sizes = append(sizes, len(c))
+	}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 3 {
+		t.Errorf("component sizes %v", sizes)
+	}
+}
+
+func TestComponentsCoverAllVerticesOnce(t *testing.T) {
+	f := func(edges [][2]uint8) bool {
+		g := NewUndirected[uint8]()
+		for _, e := range edges {
+			g.AddEdge(e[0], e[1])
+		}
+		seen := map[uint8]int{}
+		for _, comp := range g.Components() {
+			for _, v := range comp {
+				seen[v]++
+			}
+		}
+		if len(seen) != g.NumVertices() {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSDistancesOnPath(t *testing.T) {
+	g := pathGraph(5)
+	dist := g.BFSDistances(0)
+	for i := 0; i < 5; i++ {
+		if dist[i] != i {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], i)
+		}
+	}
+}
+
+func TestBFSDistancesUnknownSource(t *testing.T) {
+	g := pathGraph(3)
+	dist := g.BFSDistances(42)
+	if len(dist) != 1 || dist[42] != 0 {
+		t.Errorf("dist = %v", dist)
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := pathGraph(6) // path 0-1-2-3-4-5, diameter 5
+	if e := g.Eccentricity(0); e != 5 {
+		t.Errorf("ecc(0) = %d, want 5", e)
+	}
+	if e := g.Eccentricity(2); e != 3 {
+		t.Errorf("ecc(2) = %d, want 3", e)
+	}
+	if d := g.ComponentDiameter(3); d != 5 {
+		t.Errorf("diameter = %d, want 5", d)
+	}
+}
+
+func TestComponentDiameterIgnoresOtherComponents(t *testing.T) {
+	g := pathGraph(4) // diameter 3
+	g.AddEdge(100, 101)
+	if d := g.ComponentDiameter(0); d != 3 {
+		t.Errorf("diameter = %d, want 3", d)
+	}
+	if d := g.ComponentDiameter(100); d != 1 {
+		t.Errorf("diameter = %d, want 1", d)
+	}
+}
+
+func TestDegreesSorted(t *testing.T) {
+	g := NewUndirected[int]()
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	ds := g.Degrees()
+	want := []int{1, 1, 1, 3}
+	for i, w := range want {
+		if ds[i] != w {
+			t.Fatalf("Degrees = %v, want %v", ds, want)
+		}
+	}
+}
+
+func TestNeighborsAndVertices(t *testing.T) {
+	g := NewUndirected[int]()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	ns := g.Neighbors(1)
+	sort.Ints(ns)
+	if len(ns) != 2 || ns[0] != 2 || ns[1] != 3 {
+		t.Errorf("Neighbors(1) = %v", ns)
+	}
+	if len(g.Vertices()) != 3 {
+		t.Errorf("Vertices = %v", g.Vertices())
+	}
+}
+
+func TestDirectedBasics(t *testing.T) {
+	g := NewDirected[int]()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	if !g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Error("direction not respected")
+	}
+	if g.OutDegree(1) != 2 || g.InDegree(3) != 2 || g.InDegree(1) != 0 {
+		t.Error("bad in/out degrees")
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Errorf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestDirectedSelfLoopIgnored(t *testing.T) {
+	g := NewDirected[int]()
+	g.AddEdge(5, 5)
+	if g.NumEdges() != 0 || g.NumVertices() != 1 {
+		t.Error("self-loop should be ignored but vertex kept")
+	}
+}
+
+func TestDirectedSuccessorsPredecessors(t *testing.T) {
+	g := NewDirected[int]()
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 2)
+	ss := g.Successors(1)
+	if len(ss) != 1 || ss[0] != 2 {
+		t.Errorf("Successors(1) = %v", ss)
+	}
+	ps := g.Predecessors(2)
+	sort.Ints(ps)
+	if len(ps) != 2 || ps[0] != 1 || ps[1] != 3 {
+		t.Errorf("Predecessors(2) = %v", ps)
+	}
+}
+
+func TestDirectedDegreeSums(t *testing.T) {
+	// Sum of in-degrees == sum of out-degrees == edge count.
+	f := func(edges [][2]uint8) bool {
+		g := NewDirected[uint8]()
+		for _, e := range edges {
+			g.AddEdge(e[0], e[1])
+		}
+		var inSum, outSum int
+		for _, d := range g.InDegrees() {
+			inSum += d
+		}
+		for _, d := range g.OutDegrees() {
+			outSum += d
+		}
+		return inSum == outSum && inSum == g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomGraphComponentsMatchUnionFind(t *testing.T) {
+	// Cross-check BFS components against a simple union-find on random
+	// graphs.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 50
+		g := NewUndirected[int]()
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+			g.AddVertex(i)
+		}
+		var find func(int) int
+		find = func(x int) int {
+			if parent[x] != x {
+				parent[x] = find(parent[x])
+			}
+			return parent[x]
+		}
+		for e := 0; e < 40; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			g.AddEdge(a, b)
+			if a != b {
+				parent[find(a)] = find(b)
+			}
+		}
+		roots := map[int]bool{}
+		for i := 0; i < n; i++ {
+			roots[find(i)] = true
+		}
+		if got := len(g.Components()); got != len(roots) {
+			t.Fatalf("trial %d: BFS found %d components, union-find %d", trial, got, len(roots))
+		}
+	}
+}

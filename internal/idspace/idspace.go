@@ -1,0 +1,108 @@
+// Package idspace implements the circular 64-bit identifier space shared by
+// node ids and topic ids in Vitis.
+//
+// Both node ids and topic ids are produced by a globally known uniform hash
+// function (the paper suggests SHA-1); here SHA-1 output is truncated to 64
+// bits. The space wraps around, so distances come in two flavours:
+// CWDistance measures clockwise along the ring, and Distance is the minimum
+// of the two directions (the metric used by rendezvous routing and gateway
+// election).
+package idspace
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+)
+
+// ID is a point on the circular identifier space [0, 2^64).
+type ID uint64
+
+// RingBits is the width of the identifier space in bits.
+const RingBits = 64
+
+// HashString maps an arbitrary string (for example a topic name) onto the
+// identifier space with SHA-1 truncated to 64 bits.
+func HashString(s string) ID {
+	sum := sha1.Sum([]byte(s))
+	return ID(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// HashUint64 maps an integer key (for example a node index when generating
+// synthetic populations) onto the identifier space.
+func HashUint64(v uint64) ID {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	sum := sha1.Sum(buf[:])
+	return ID(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// CWDistance returns the clockwise distance from a to b, i.e. how far one
+// must travel in increasing-id direction (with wrap-around) to get from a
+// to b. It is zero iff a == b.
+func CWDistance(a, b ID) uint64 {
+	return uint64(b - a) // unsigned wrap-around does the modular arithmetic
+}
+
+// Distance returns the ring (bidirectional) distance between a and b: the
+// minimum of the clockwise and counter-clockwise distances.
+func Distance(a, b ID) uint64 {
+	cw := CWDistance(a, b)
+	ccw := CWDistance(b, a)
+	if cw < ccw {
+		return cw
+	}
+	return ccw
+}
+
+// Between reports whether x lies on the clockwise arc strictly between a and
+// b. When a == b the arc covers the whole ring except a itself.
+func Between(x, a, b ID) bool {
+	if x == a || x == b {
+		return false
+	}
+	return CWDistance(a, x) < CWDistance(a, b) || a == b
+}
+
+// BetweenIncl reports whether x lies on the clockwise arc from a to b,
+// including the endpoint b (the successor test used by ring maintenance).
+func BetweenIncl(x, a, b ID) bool {
+	if x == b {
+		return true
+	}
+	return Between(x, a, b)
+}
+
+// Closer reports whether candidate is strictly closer to target than current
+// is, under the ring metric. Ties are broken toward the numerically smaller
+// clockwise distance so that lookups are deterministic.
+func Closer(candidate, current, target ID) bool {
+	dc := Distance(candidate, target)
+	du := Distance(current, target)
+	if dc != du {
+		return dc < du
+	}
+	// Tie on ring distance (candidate and current sit on opposite sides of
+	// target): prefer the clockwise-closer one for determinism.
+	return CWDistance(candidate, target) < CWDistance(current, target)
+}
+
+// String renders the id as a fixed-width hexadecimal string.
+func (id ID) String() string {
+	return fmt.Sprintf("%016x", uint64(id))
+}
+
+// Short renders the first 8 hex digits, for compact logs.
+func (id ID) Short() string {
+	return fmt.Sprintf("%08x", uint64(id)>>32)
+}
+
+// ParseID parses the output of String back into an ID.
+func ParseID(s string) (ID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("idspace: parse %q: %w", s, err)
+	}
+	return ID(v), nil
+}

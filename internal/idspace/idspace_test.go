@@ -1,0 +1,191 @@
+package idspace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashStringDeterministic(t *testing.T) {
+	a := HashString("topic-42")
+	b := HashString("topic-42")
+	if a != b {
+		t.Fatalf("same input hashed to %v and %v", a, b)
+	}
+	if HashString("topic-43") == a {
+		t.Fatalf("distinct inputs collided (astronomically unlikely)")
+	}
+}
+
+func TestHashUint64Deterministic(t *testing.T) {
+	if HashUint64(7) != HashUint64(7) {
+		t.Fatal("HashUint64 not deterministic")
+	}
+	if HashUint64(7) == HashUint64(8) {
+		t.Fatal("adjacent keys collided")
+	}
+}
+
+func TestHashUniformity(t *testing.T) {
+	// Bucket 64k hashes into 16 bins; expect each bin near 4096.
+	const n = 1 << 16
+	var bins [16]int
+	for i := 0; i < n; i++ {
+		bins[HashUint64(uint64(i))>>60]++
+	}
+	want := float64(n) / 16
+	for i, c := range bins {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("bin %d has %d entries, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestCWDistance(t *testing.T) {
+	cases := []struct {
+		a, b ID
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 10, 10},
+		{10, 0, math.MaxUint64 - 9},
+		{math.MaxUint64, 0, 1},
+		{5, 5, 0},
+	}
+	for _, c := range cases {
+		if got := CWDistance(c.a, c.b); got != c.want {
+			t.Errorf("CWDistance(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return Distance(ID(a), ID(b)) == Distance(ID(b), ID(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	f := func(a uint64) bool { return Distance(ID(a), ID(a)) == 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceAtMostHalfRing(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return Distance(ID(a), ID(b)) <= 1<<63
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	// Ring distance is a metric; check the triangle inequality on random
+	// triples (guarding against uint64 overflow by comparing in big space).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		a, b, c := ID(rng.Uint64()), ID(rng.Uint64()), ID(rng.Uint64())
+		ab := Distance(a, b)
+		bc := Distance(b, c)
+		ac := Distance(a, c)
+		// ab+bc cannot overflow: both are <= 2^63.
+		if ac > ab+bc {
+			t.Fatalf("triangle violated: d(%v,%v)=%d > %d+%d", a, c, ac, ab, bc)
+		}
+	}
+}
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		x, a, b ID
+		want    bool
+	}{
+		{5, 0, 10, true},
+		{15, 0, 10, false},
+		{0, 0, 10, false},                 // endpoint a excluded
+		{10, 0, 10, false},                // endpoint b excluded
+		{5, 10, 0, false},                 // arc from 10 wraps; 5 is not between 10 and 0
+		{ID(math.MaxUint64), 10, 0, true}, // wraps around the top
+		{5, 3, 3, true},                   // a==b: whole ring except a
+		{3, 3, 3, false},
+	}
+	for _, c := range cases {
+		if got := Between(c.x, c.a, c.b); got != c.want {
+			t.Errorf("Between(%v,%v,%v) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBetweenIncl(t *testing.T) {
+	if !BetweenIncl(10, 0, 10) {
+		t.Error("BetweenIncl should include the b endpoint")
+	}
+	if BetweenIncl(0, 0, 10) {
+		t.Error("BetweenIncl should exclude the a endpoint")
+	}
+}
+
+func TestCloser(t *testing.T) {
+	if !Closer(9, 5, 10) {
+		t.Error("9 should be closer to 10 than 5 is")
+	}
+	if Closer(5, 9, 10) {
+		t.Error("5 should not be closer to 10 than 9 is")
+	}
+	if Closer(9, 9, 10) {
+		t.Error("a node is not strictly closer than itself")
+	}
+	// Equidistant tie: 8 and 12 are both at distance 2 from 10; clockwise
+	// tie-break prefers 8 (CWDistance(8,10)=2 < CWDistance(12,10)=huge).
+	if !Closer(8, 12, 10) {
+		t.Error("tie-break should prefer the clockwise-closer candidate")
+	}
+	if Closer(12, 8, 10) {
+		t.Error("tie-break must be antisymmetric")
+	}
+}
+
+func TestCloserTotalOrderProperty(t *testing.T) {
+	// For any target, Closer must be a strict partial order: antisymmetric
+	// and irreflexive on random samples.
+	f := func(a, b, tgt uint64) bool {
+		x, y, z := ID(a), ID(b), ID(tgt)
+		if x == y {
+			return !Closer(x, y, z) && !Closer(y, x, z)
+		}
+		return !(Closer(x, y, z) && Closer(y, x, z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		id := ID(v)
+		parsed, err := ParseID(id.String())
+		return err == nil && parsed == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIDError(t *testing.T) {
+	if _, err := ParseID("not-hex"); err == nil {
+		t.Error("expected error for invalid input")
+	}
+}
+
+func TestShort(t *testing.T) {
+	id := ID(0xdeadbeef12345678)
+	if got := id.Short(); got != "deadbeef" {
+		t.Errorf("Short() = %q, want %q", got, "deadbeef")
+	}
+}

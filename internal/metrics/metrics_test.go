@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"vitis/internal/simnet"
+)
+
+type evKey struct{ n int }
+
+func TestHitRatioBasics(t *testing.T) {
+	c := New()
+	c.RecordPublish(evKey{1}, 100, 0, []NodeID{1, 2, 3, 4})
+	c.Deliver(evKey{1}, 1, 0)
+	c.Deliver(evKey{1}, 2, 3)
+	if got := c.HitRatio(); got != 0.5 {
+		t.Errorf("HitRatio = %g, want 0.5", got)
+	}
+	c.Deliver(evKey{1}, 3, 2)
+	c.Deliver(evKey{1}, 4, 5)
+	if got := c.HitRatio(); got != 1 {
+		t.Errorf("HitRatio = %g, want 1", got)
+	}
+}
+
+func TestHitRatioEmpty(t *testing.T) {
+	if got := New().HitRatio(); got != 1 {
+		t.Errorf("empty HitRatio = %g, want 1", got)
+	}
+}
+
+func TestDuplicateDeliveryCountsOnce(t *testing.T) {
+	c := New()
+	c.RecordPublish(evKey{1}, 100, 0, []NodeID{1, 2})
+	c.Deliver(evKey{1}, 1, 2)
+	c.Deliver(evKey{1}, 1, 4)
+	if got := c.HitRatio(); got != 0.5 {
+		t.Errorf("HitRatio = %g, want 0.5", got)
+	}
+	if got := c.AvgDelay(); got != 2 {
+		t.Errorf("AvgDelay = %g, want first-delivery hops 2", got)
+	}
+}
+
+func TestUnexpectedDeliveriesTracked(t *testing.T) {
+	c := New()
+	c.RecordPublish(evKey{1}, 100, 0, []NodeID{1})
+	c.Deliver(evKey{1}, 99, 2) // not expected
+	c.Deliver(evKey{2}, 1, 2)  // unknown event
+	if got := c.ExtraDeliveries(); got != 2 {
+		t.Errorf("ExtraDeliveries = %d, want 2", got)
+	}
+	if got := c.HitRatio(); got != 0 {
+		t.Errorf("HitRatio = %g, want 0", got)
+	}
+}
+
+func TestAvgDelayExcludesPublisher(t *testing.T) {
+	c := New()
+	c.RecordPublish(evKey{1}, 100, 0, []NodeID{1, 2, 3})
+	c.Deliver(evKey{1}, 1, 0) // publisher self-delivery
+	c.Deliver(evKey{1}, 2, 2)
+	c.Deliver(evKey{1}, 3, 4)
+	if got := c.AvgDelay(); got != 3 {
+		t.Errorf("AvgDelay = %g, want 3", got)
+	}
+	if got := c.MaxDelay(); got != 4 {
+		t.Errorf("MaxDelay = %d, want 4", got)
+	}
+}
+
+func TestAvgDelayEmpty(t *testing.T) {
+	c := New()
+	if got := c.AvgDelay(); got != 0 {
+		t.Errorf("AvgDelay = %g, want 0", got)
+	}
+}
+
+func TestOverheadRatio(t *testing.T) {
+	c := New()
+	c.Notification(1, true)
+	c.Notification(1, false)
+	c.Notification(2, true)
+	c.Notification(2, true)
+	if got := c.OverheadRatio(); got != 0.25 {
+		t.Errorf("OverheadRatio = %g, want 0.25", got)
+	}
+}
+
+func TestOverheadRatioEmpty(t *testing.T) {
+	if got := New().OverheadRatio(); got != 0 {
+		t.Errorf("empty overhead = %g", got)
+	}
+}
+
+func TestPerNodeOverheadPct(t *testing.T) {
+	c := New()
+	c.Notification(1, false) // 100%
+	c.Notification(2, true)  // 0%
+	c.Notification(2, false) // -> 50%
+	got := c.PerNodeOverheadPct(nil)
+	if len(got) != 2 || got[0] != 50 || got[1] != 100 {
+		t.Errorf("PerNodeOverheadPct = %v", got)
+	}
+	// Silent node 3 shows up as 0%.
+	withAll := c.PerNodeOverheadPct([]NodeID{1, 2, 3})
+	if len(withAll) != 3 || withAll[0] != 0 {
+		t.Errorf("with all nodes: %v", withAll)
+	}
+}
+
+func TestOverheadHistogram(t *testing.T) {
+	c := New()
+	c.Notification(1, false) // 100%
+	c.Notification(2, true)  // 0%
+	h := c.OverheadHistogram([]NodeID{1, 2, 3}, 10)
+	if h.Total() != 3 {
+		t.Errorf("histogram total %d", h.Total())
+	}
+	fr := h.Fractions()
+	if math.Abs(fr[0]-2.0/3) > 1e-9 { // nodes 2 and 3 at 0%
+		t.Errorf("bin 0 fraction %g", fr[0])
+	}
+	if math.Abs(fr[9]-1.0/3) > 1e-9 { // node 1 at 100%
+		t.Errorf("bin 9 fraction %g", fr[9])
+	}
+}
+
+func TestEventsCount(t *testing.T) {
+	c := New()
+	c.RecordPublish(evKey{1}, 1, 0, nil)
+	c.RecordPublish(evKey{2}, 2, 0, nil)
+	if c.Events() != 2 {
+		t.Errorf("Events = %d", c.Events())
+	}
+}
+
+func TestHitRatioSeries(t *testing.T) {
+	now := simnet.Time(0)
+	c := NewWithSeries(100, func() simnet.Time { return now })
+	c.RecordPublish(evKey{1}, 7, 50, []NodeID{1, 2}) // bucket 0
+	c.RecordPublish(evKey{2}, 7, 150, []NodeID{3})   // bucket 1
+	c.Deliver(evKey{1}, 1, 1)
+	c.Deliver(evKey{2}, 3, 1)
+	pts := c.HitRatioSeries()
+	if len(pts) != 2 {
+		t.Fatalf("series = %v", pts)
+	}
+	if pts[0].Start != 0 || pts[0].Value != 0.5 {
+		t.Errorf("bucket 0 = %+v", pts[0])
+	}
+	if pts[1].Start != 100 || pts[1].Value != 1 {
+		t.Errorf("bucket 1 = %+v", pts[1])
+	}
+}
+
+func TestOverheadSeries(t *testing.T) {
+	now := simnet.Time(0)
+	c := NewWithSeries(100, func() simnet.Time { return now })
+	c.Notification(1, true)
+	now = 150
+	c.Notification(1, false)
+	pts := c.OverheadSeries()
+	if len(pts) != 2 {
+		t.Fatalf("series = %v", pts)
+	}
+	if pts[0].Value != 0 || pts[1].Value != 1 {
+		t.Errorf("series = %v", pts)
+	}
+}
+
+func TestDelaySeries(t *testing.T) {
+	c := NewWithSeries(100, func() simnet.Time { return 0 })
+	c.RecordPublish(evKey{1}, 7, 10, []NodeID{1, 2})
+	c.Deliver(evKey{1}, 1, 2)
+	c.Deliver(evKey{1}, 2, 4)
+	pts := c.DelaySeries()
+	if len(pts) != 1 || pts[0].Value != 3 {
+		t.Errorf("series = %v", pts)
+	}
+}
+
+func TestSeriesDisabledWithoutBucket(t *testing.T) {
+	c := New()
+	c.RecordPublish(evKey{1}, 7, 10, []NodeID{1})
+	c.Deliver(evKey{1}, 1, 2)
+	c.Notification(1, true)
+	if c.HitRatioSeries() != nil || c.DelaySeries() != nil || c.OverheadSeries() != nil {
+		t.Error("series should be nil without a bucket width")
+	}
+}

@@ -1,0 +1,18 @@
+package opt
+
+// seenSet deduplicates events with bounded memory via two-generation
+// rotation (see the identical structure in internal/core).
+type seenSet struct {
+	cur, prev map[EventID]bool
+}
+
+func newSeenSet() *seenSet {
+	return &seenSet{cur: make(map[EventID]bool), prev: make(map[EventID]bool)}
+}
+
+func (s *seenSet) has(ev EventID) bool { return s.cur[ev] || s.prev[ev] }
+func (s *seenSet) add(ev EventID)      { s.cur[ev] = true }
+func (s *seenSet) rotate() {
+	s.prev = s.cur
+	s.cur = make(map[EventID]bool)
+}

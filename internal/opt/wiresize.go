@@ -1,0 +1,12 @@
+package opt
+
+// Wire-size estimates for bandwidth accounting (simnet.Sized).
+
+// WireSize implements simnet.Sized.
+func (m ProfileMsg) WireSize() int { return 1 + 8*len(m.Subs) }
+
+// WireSize implements simnet.Sized.
+func (m Notification) WireSize() int { return 8 + 16 + 4 }
+
+// WireSize makes subscription summaries measurable inside T-Man buffers.
+func (s subsSummary) WireSize() int { return 8 * len(s) }

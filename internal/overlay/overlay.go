@@ -1,0 +1,196 @@
+// Package overlay captures and analyses snapshots of a running Vitis
+// overlay: the symmetrized routing-table graph, the per-topic clusters
+// (maximal connected subgraphs of subscribers — the structures of the
+// paper's Fig. 1), their sizes and diameters (which drive gateway counts),
+// and a Graphviz DOT export for visual inspection.
+package overlay
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vitis/internal/core"
+	"vitis/internal/graph"
+	"vitis/internal/stats"
+)
+
+// Snapshot is a frozen view of the overlay graph and subscriptions.
+type Snapshot struct {
+	// Links is the undirected (symmetrized) routing-table graph.
+	Links *graph.Undirected[core.NodeID]
+	// Subs maps each node to its subscription set.
+	Subs map[core.NodeID]map[core.TopicID]bool
+}
+
+// Capture builds a snapshot from live nodes. Dead nodes are skipped.
+func Capture(nodes []*core.Node) *Snapshot {
+	s := &Snapshot{
+		Links: graph.NewUndirected[core.NodeID](),
+		Subs:  make(map[core.NodeID]map[core.TopicID]bool, len(nodes)),
+	}
+	alive := make(map[core.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		if n.Alive() {
+			alive[n.ID()] = true
+		}
+	}
+	for _, n := range nodes {
+		if !n.Alive() {
+			continue
+		}
+		s.Links.AddVertex(n.ID())
+		subs := make(map[core.TopicID]bool)
+		for _, t := range n.Subscriptions() {
+			subs[t] = true
+		}
+		s.Subs[n.ID()] = subs
+		for _, nb := range n.RoutingTable() {
+			if alive[nb] {
+				s.Links.AddEdge(n.ID(), nb)
+			}
+		}
+	}
+	return s
+}
+
+// TopicClusters returns the clusters of topic t: the connected components of
+// the subgraph induced by t's subscribers. Each cluster is sorted by id;
+// clusters are ordered by their smallest member.
+func (s *Snapshot) TopicClusters(t core.TopicID) [][]core.NodeID {
+	sub := graph.NewUndirected[core.NodeID]()
+	for id, subs := range s.Subs {
+		if !subs[t] {
+			continue
+		}
+		sub.AddVertex(id)
+		for _, nb := range s.Links.Neighbors(id) {
+			if nbSubs, ok := s.Subs[nb]; ok && nbSubs[t] {
+				sub.AddEdge(id, nb)
+			}
+		}
+	}
+	comps := sub.Components()
+	for _, c := range comps {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// ClusterStats summarises the clustering of a set of topics.
+type ClusterStats struct {
+	Topics          int
+	TotalClusters   int
+	MeanPerTopic    float64 // mean cluster count per topic
+	MaxPerTopic     int
+	MeanClusterSize float64
+	MeanDiameter    float64 // mean cluster diameter (hops), singletons count 0
+	Singletons      int     // clusters of size 1
+}
+
+// Analyze computes cluster statistics over the given topics (topics with no
+// subscribers are skipped).
+func (s *Snapshot) Analyze(topics []core.TopicID) ClusterStats {
+	var st ClusterStats
+	var sizeSum int
+	var diamSum float64
+	var diamCount int
+	for _, t := range topics {
+		clusters := s.TopicClusters(t)
+		if len(clusters) == 0 {
+			continue
+		}
+		st.Topics++
+		st.TotalClusters += len(clusters)
+		if len(clusters) > st.MaxPerTopic {
+			st.MaxPerTopic = len(clusters)
+		}
+		for _, c := range clusters {
+			sizeSum += len(c)
+			if len(c) == 1 {
+				st.Singletons++
+			}
+			diamSum += float64(s.clusterDiameter(t, c))
+			diamCount++
+		}
+	}
+	if st.Topics > 0 {
+		st.MeanPerTopic = float64(st.TotalClusters) / float64(st.Topics)
+	}
+	if st.TotalClusters > 0 {
+		st.MeanClusterSize = float64(sizeSum) / float64(st.TotalClusters)
+	}
+	if diamCount > 0 {
+		st.MeanDiameter = diamSum / float64(diamCount)
+	}
+	return st
+}
+
+// clusterDiameter computes the diameter of one cluster of t.
+func (s *Snapshot) clusterDiameter(t core.TopicID, members []core.NodeID) int {
+	if len(members) <= 1 {
+		return 0
+	}
+	sub := graph.NewUndirected[core.NodeID]()
+	inCluster := make(map[core.NodeID]bool, len(members))
+	for _, id := range members {
+		inCluster[id] = true
+		sub.AddVertex(id)
+	}
+	for _, id := range members {
+		for _, nb := range s.Links.Neighbors(id) {
+			if inCluster[nb] {
+				sub.AddEdge(id, nb)
+			}
+		}
+	}
+	return sub.ComponentDiameter(members[0])
+}
+
+// DegreeSummary summarises the overlay's degree distribution.
+func (s *Snapshot) DegreeSummary() stats.Summary {
+	ds := s.Links.Degrees()
+	fs := make([]float64, len(ds))
+	for i, d := range ds {
+		fs[i] = float64(d)
+	}
+	return stats.Summarize(fs)
+}
+
+// DOT renders the overlay as a Graphviz graph. If topic is non-zero, the
+// subscribers of that topic are filled and per-cluster colored; other nodes
+// stay plain.
+func (s *Snapshot) DOT(topic core.TopicID) string {
+	var b strings.Builder
+	b.WriteString("graph vitis {\n  node [shape=circle fontsize=8];\n")
+	palette := []string{"lightblue", "lightcoral", "palegreen", "gold", "plum", "lightsalmon"}
+	colorOf := make(map[core.NodeID]string)
+	if topic != 0 {
+		for i, cluster := range s.TopicClusters(topic) {
+			for _, id := range cluster {
+				colorOf[id] = palette[i%len(palette)]
+			}
+		}
+	}
+	ids := s.Links.Vertices()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if color, ok := colorOf[id]; ok {
+			fmt.Fprintf(&b, "  %q [style=filled fillcolor=%s];\n", id.Short(), color)
+		} else {
+			fmt.Fprintf(&b, "  %q;\n", id.Short())
+		}
+	}
+	for _, id := range ids {
+		nbs := s.Links.Neighbors(id)
+		sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
+		for _, nb := range nbs {
+			if id < nb { // each undirected edge once
+				fmt.Fprintf(&b, "  %q -- %q;\n", id.Short(), nb.Short())
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

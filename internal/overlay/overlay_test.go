@@ -1,0 +1,193 @@
+package overlay
+
+import (
+	"strings"
+	"testing"
+
+	"vitis/internal/core"
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+)
+
+// buildVitis spins up a small converged Vitis overlay.
+func buildVitis(t *testing.T, n int, subs func(i int) []core.TopicID) []*core.Node {
+	t.Helper()
+	eng := simnet.NewEngine(31)
+	net := simnet.NewNetwork(eng, simnet.UniformLatency{Min: 10, Max: 80})
+	ids := make([]core.NodeID, n)
+	for i := range ids {
+		ids[i] = idspace.HashUint64(uint64(i))
+	}
+	nodes := make([]*core.Node, n)
+	for i := range ids {
+		nodes[i] = core.NewNode(net, ids[i], core.Params{NetworkSizeEstimate: n}, core.Hooks{})
+		for _, tp := range subs(i) {
+			nodes[i].Subscribe(tp)
+		}
+	}
+	for i, nd := range nodes {
+		nd.Join([]core.NodeID{ids[(i+1)%n], ids[(i+2)%n], ids[(i+3)%n]})
+	}
+	eng.RunUntil(35 * simnet.Second)
+	return nodes
+}
+
+func TestCaptureBasics(t *testing.T) {
+	tp := core.Topic("cap")
+	nodes := buildVitis(t, 20, func(i int) []core.TopicID { return []core.TopicID{tp} })
+	snap := Capture(nodes)
+	if snap.Links.NumVertices() != 20 {
+		t.Errorf("captured %d vertices", snap.Links.NumVertices())
+	}
+	if snap.Links.NumEdges() == 0 {
+		t.Error("no edges captured")
+	}
+	for _, n := range nodes {
+		if !snap.Subs[n.ID()][tp] {
+			t.Errorf("subscription of %v lost", n.ID())
+		}
+	}
+}
+
+func TestCaptureSkipsDeadNodes(t *testing.T) {
+	tp := core.Topic("dead")
+	nodes := buildVitis(t, 12, func(i int) []core.TopicID { return []core.TopicID{tp} })
+	nodes[0].Leave()
+	snap := Capture(nodes)
+	if snap.Links.NumVertices() != 11 {
+		t.Errorf("captured %d vertices, want 11", snap.Links.NumVertices())
+	}
+	if _, ok := snap.Subs[nodes[0].ID()]; ok {
+		t.Error("dead node's subscriptions captured")
+	}
+}
+
+func TestTopicClustersSingleTopic(t *testing.T) {
+	tp := core.Topic("single")
+	nodes := buildVitis(t, 24, func(i int) []core.TopicID { return []core.TopicID{tp} })
+	snap := Capture(nodes)
+	clusters := snap.TopicClusters(tp)
+	if len(clusters) == 0 {
+		t.Fatal("no clusters found")
+	}
+	// Every subscriber appears exactly once across clusters.
+	seen := map[core.NodeID]bool{}
+	total := 0
+	for _, c := range clusters {
+		for _, id := range c {
+			if seen[id] {
+				t.Fatalf("node %v in two clusters", id)
+			}
+			seen[id] = true
+			total++
+		}
+	}
+	if total != 24 {
+		t.Errorf("clusters cover %d of 24 subscribers", total)
+	}
+	// With everyone subscribed and friends dominating the table, the
+	// topic should form very few clusters.
+	if len(clusters) > 3 {
+		t.Errorf("%d clusters for a universally subscribed topic", len(clusters))
+	}
+}
+
+func TestTopicClustersDisjointInterests(t *testing.T) {
+	a, b := core.Topic("a"), core.Topic("b")
+	nodes := buildVitis(t, 24, func(i int) []core.TopicID {
+		if i%2 == 0 {
+			return []core.TopicID{a}
+		}
+		return []core.TopicID{b}
+	})
+	snap := Capture(nodes)
+	for _, tp := range []core.TopicID{a, b} {
+		for _, cluster := range snap.TopicClusters(tp) {
+			for _, id := range cluster {
+				if !snap.Subs[id][tp] {
+					t.Errorf("cluster of %v contains non-subscriber %v", tp, id)
+				}
+			}
+		}
+	}
+	if got := snap.TopicClusters(core.Topic("nobody")); got != nil {
+		t.Errorf("clusters for unsubscribed topic: %v", got)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	tp := core.Topic("an")
+	nodes := buildVitis(t, 20, func(i int) []core.TopicID { return []core.TopicID{tp} })
+	snap := Capture(nodes)
+	st := snap.Analyze([]core.TopicID{tp, core.Topic("empty")})
+	if st.Topics != 1 {
+		t.Errorf("Topics = %d, want 1 (empty skipped)", st.Topics)
+	}
+	if st.TotalClusters == 0 || st.MeanClusterSize == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxPerTopic < 1 {
+		t.Errorf("MaxPerTopic = %d", st.MaxPerTopic)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	snap := Capture(nil)
+	st := snap.Analyze([]core.TopicID{core.Topic("x")})
+	if st.Topics != 0 || st.TotalClusters != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDegreeSummaryBounded(t *testing.T) {
+	tp := core.Topic("deg")
+	nodes := buildVitis(t, 20, func(i int) []core.TopicID { return []core.TopicID{tp} })
+	snap := Capture(nodes)
+	sum := snap.DegreeSummary()
+	if sum.Count != 20 {
+		t.Errorf("Count = %d", sum.Count)
+	}
+	// Symmetrized degree can exceed RTSize but not the population.
+	if sum.Max >= 20 {
+		t.Errorf("max degree %g out of range", sum.Max)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	tp := core.Topic("dot")
+	nodes := buildVitis(t, 10, func(i int) []core.TopicID {
+		if i < 5 {
+			return []core.TopicID{tp}
+		}
+		return nil
+	})
+	snap := Capture(nodes)
+	dot := snap.DOT(tp)
+	if !strings.HasPrefix(dot, "graph vitis {") || !strings.HasSuffix(dot, "}\n") {
+		t.Error("malformed DOT frame")
+	}
+	if !strings.Contains(dot, "--") {
+		t.Error("no edges in DOT output")
+	}
+	if !strings.Contains(dot, "fillcolor") {
+		t.Error("subscribers not colored")
+	}
+	// Edge lines must be unique (each edge rendered once).
+	seen := map[string]bool{}
+	for _, line := range strings.Split(dot, "\n") {
+		if strings.Contains(line, "--") {
+			if seen[line] {
+				t.Fatalf("duplicate edge line %q", line)
+			}
+			seen[line] = true
+		}
+	}
+}
+
+func TestDOTWithoutTopic(t *testing.T) {
+	nodes := buildVitis(t, 8, func(i int) []core.TopicID { return nil })
+	dot := Capture(nodes).DOT(0)
+	if strings.Contains(dot, "fillcolor") {
+		t.Error("no topic given but nodes colored")
+	}
+}

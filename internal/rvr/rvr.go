@@ -1,0 +1,549 @@
+// Package rvr implements the paper's first baseline: a structured
+// RendezVous Routing publish/subscribe system equivalent to Scribe/Bayeux
+// with a fixed node degree (§IV: "RVR: a structured rendezvous routing
+// solution that builds a multicast tree per topic").
+//
+// For comparability it shares Vitis's substrates — the same peer sampling
+// service and the same T-Man overlay construction — but its neighbor
+// selection is oblivious to subscriptions: one predecessor, one successor
+// and RTSize−2 Symphony-style small-world links. Each subscriber routes a
+// periodic SUBSCRIBE toward hash(topic); the reverse paths form a soft-state
+// multicast tree rooted at the rendezvous node. Published events are routed
+// to the tree and flooded along it, which drags in every relay node on the
+// way — the traffic overhead Vitis is designed to avoid.
+package rvr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"vitis/internal/idspace"
+	"vitis/internal/sampling"
+	"vitis/internal/simnet"
+	"vitis/internal/tman"
+)
+
+// NodeID and TopicID live in the shared identifier space.
+type (
+	// NodeID identifies a node.
+	NodeID = simnet.NodeID
+	// TopicID identifies a topic.
+	TopicID = idspace.ID
+)
+
+// EventID uniquely identifies a published event.
+type EventID struct {
+	Publisher NodeID
+	Seq       uint64
+}
+
+// Params mirror core.Params where applicable.
+type Params struct {
+	RTSize              int         // default 15
+	GossipPeriod        simnet.Time // default 1 s
+	HeartbeatPeriod     simnet.Time // default 1 s
+	StaleAge            int         // default 5
+	TreeLease           simnet.Time // default 4 heartbeats
+	LookupTTL           int         // default 64
+	NetworkSizeEstimate int         // default 10000
+	SamplerViewSize     int         // default 20
+	SampleSize          int         // default 10
+}
+
+// WithDefaults fills zero fields.
+func (p Params) WithDefaults() Params {
+	if p.RTSize == 0 {
+		p.RTSize = 15
+	}
+	if p.GossipPeriod == 0 {
+		p.GossipPeriod = simnet.Second
+	}
+	if p.HeartbeatPeriod == 0 {
+		p.HeartbeatPeriod = simnet.Second
+	}
+	if p.StaleAge == 0 {
+		p.StaleAge = 5
+	}
+	if p.TreeLease == 0 {
+		p.TreeLease = 4 * p.HeartbeatPeriod
+	}
+	if p.LookupTTL == 0 {
+		p.LookupTTL = 64
+	}
+	if p.NetworkSizeEstimate == 0 {
+		p.NetworkSizeEstimate = 10000
+	}
+	if p.SamplerViewSize == 0 {
+		p.SamplerViewSize = 20
+	}
+	if p.SampleSize == 0 {
+		p.SampleSize = 10
+	}
+	return p
+}
+
+// Hooks mirror core.Hooks for the metrics layer.
+type Hooks struct {
+	OnDeliver      func(node NodeID, topic TopicID, ev EventID, hops int)
+	OnNotification func(node NodeID, topic TopicID, interested bool)
+}
+
+// Wire messages.
+type (
+	// SubscribeMsg routes toward hash(Topic), leaving tree soft state.
+	SubscribeMsg struct {
+		Topic TopicID
+		TTL   int
+	}
+	// Notification carries an event; Routing is true while it is still
+	// being greedily routed toward the rendezvous, false once it travels
+	// the multicast tree.
+	Notification struct {
+		Topic   TopicID
+		Event   EventID
+		Hops    int
+		Routing bool
+	}
+	// Ping and Pong implement neighbor liveness.
+	Ping struct{}
+	// Pong answers a Ping.
+	Pong struct{}
+)
+
+type treeState struct {
+	hasParent    bool
+	parent       NodeID
+	parentExpiry simnet.Time
+	rendezvous   bool
+	rendezExpiry simnet.Time
+	children     map[NodeID]simnet.Time
+}
+
+func (ts *treeState) live(now simnet.Time) bool {
+	if ts.hasParent && ts.parentExpiry > now {
+		return true
+	}
+	if ts.rendezvous && ts.rendezExpiry > now {
+		return true
+	}
+	for _, exp := range ts.children {
+		if exp > now {
+			return true
+		}
+	}
+	return false
+}
+
+// Node is one RVR participant.
+type Node struct {
+	id     NodeID
+	net    *simnet.Network
+	eng    *simnet.Engine
+	params Params
+	rng    *rand.Rand
+	hooks  Hooks
+
+	subs map[TopicID]bool
+
+	sampler *sampling.Service
+	xchg    *tman.Exchanger
+	ages    map[NodeID]int
+	// suspects tombstone neighbors whose heartbeats timed out so their
+	// stale descriptors are not re-selected from gossip buffers.
+	suspects map[NodeID]simnet.Time
+
+	trees      map[TopicID]*treeState
+	seen       *seenSet
+	seenRounds int
+	pubSeq     uint64
+
+	stopped bool
+}
+
+// NewNode creates an RVR node; call Join to start it.
+func NewNode(net *simnet.Network, id NodeID, params Params, hooks Hooks) *Node {
+	return &Node{
+		id:       id,
+		net:      net,
+		eng:      net.Engine(),
+		params:   params.WithDefaults(),
+		rng:      net.Engine().DeriveRNG(int64(id) ^ 0x5256), // distinct stream from a same-id Vitis node
+		hooks:    hooks,
+		subs:     make(map[TopicID]bool),
+		ages:     make(map[NodeID]int),
+		suspects: make(map[NodeID]simnet.Time),
+		trees:    make(map[TopicID]*treeState),
+		seen:     newSeenSet(),
+	}
+}
+
+// ID returns the node id.
+func (n *Node) ID() NodeID { return n.id }
+
+// Subscribe adds a topic; the node joins the topic's tree on following
+// heartbeats.
+func (n *Node) Subscribe(t TopicID) { n.subs[t] = true }
+
+// Unsubscribe removes a topic; tree membership decays with the lease.
+func (n *Node) Unsubscribe(t TopicID) { delete(n.subs, t) }
+
+// Subscribed reports current subscription.
+func (n *Node) Subscribed(t TopicID) bool { return n.subs[t] }
+
+// Join attaches the node and starts its protocol stacks.
+func (n *Node) Join(bootstrap []NodeID) {
+	n.net.Attach(n.id, simnet.HandlerFunc(n.dispatch))
+	n.sampler = sampling.New(n.net, n.id,
+		sampling.Config{ViewSize: n.params.SamplerViewSize, Period: n.params.GossipPeriod},
+		bootstrap, n.rng)
+	boot := make([]tman.Descriptor, 0, len(bootstrap))
+	for _, id := range bootstrap {
+		boot = append(boot, tman.Descriptor{ID: id})
+	}
+	n.xchg = tman.New(n.net, n.id, n.params.GossipPeriod, tman.Callbacks{
+		SelfDescriptor: func() tman.Descriptor { return tman.Descriptor{ID: n.id} },
+		SampleNodes: func() []tman.Descriptor {
+			ids := n.sampler.Sample(n.params.SampleSize)
+			out := make([]tman.Descriptor, 0, len(ids))
+			for _, id := range ids {
+				out = append(out, tman.Descriptor{ID: id})
+			}
+			return out
+		},
+		SelectNeighbors: n.selectNeighbors,
+	}, boot, n.rng)
+	n.sampler.Start()
+	n.xchg.Start()
+	n.eng.Every(n.params.HeartbeatPeriod, func() bool {
+		if n.stopped {
+			return false
+		}
+		n.heartbeat()
+		return true
+	})
+}
+
+// Leave detaches the node ungracefully.
+func (n *Node) Leave() {
+	n.stopped = true
+	if n.sampler != nil {
+		n.sampler.Stop()
+	}
+	if n.xchg != nil {
+		n.xchg.Stop()
+	}
+	n.net.Detach(n.id)
+}
+
+// Alive reports liveness.
+func (n *Node) Alive() bool { return !n.stopped && n.net.Alive(n.id) }
+
+// selectNeighbors is the subscription-oblivious table: successor,
+// predecessor, and RTSize−2 harmonic small-world links.
+func (n *Node) selectNeighbors(buffer []tman.Descriptor) []tman.Descriptor {
+	now := n.eng.Now()
+	live := buffer[:0]
+	for _, d := range buffer {
+		if until, suspect := n.suspects[d.ID]; suspect && until > now {
+			continue
+		}
+		live = append(live, d)
+	}
+	buffer = live
+	if len(buffer) == 0 {
+		return nil
+	}
+	selected := make([]tman.Descriptor, 0, n.params.RTSize)
+	used := make(map[NodeID]bool, n.params.RTSize)
+	take := func(d tman.Descriptor, ok bool) {
+		if ok {
+			selected = append(selected, d)
+			used[d.ID] = true
+		}
+	}
+	take(argmin(buffer, used, func(d tman.Descriptor) uint64 { return idspace.CWDistance(n.id, d.ID) }))
+	take(argmin(buffer, used, func(d tman.Descriptor) uint64 { return idspace.CWDistance(d.ID, n.id) }))
+	for len(selected) < n.params.RTSize {
+		target := n.id + idspace.ID(harmonicDistance(n.rng, n.params.NetworkSizeEstimate))
+		d, ok := argmin(buffer, used, func(d tman.Descriptor) uint64 { return idspace.Distance(d.ID, target) })
+		if !ok {
+			break
+		}
+		take(d, true)
+	}
+	return selected
+}
+
+func (n *Node) dispatch(from NodeID, msg simnet.Message) {
+	if n.stopped {
+		return
+	}
+	delete(n.suspects, from) // any message proves liveness
+	if n.sampler.HandleMessage(from, msg) {
+		return
+	}
+	if n.xchg.HandleMessage(from, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case SubscribeMsg:
+		n.handleSubscribe(from, m)
+	case Notification:
+		n.handleNotification(from, m)
+	case Ping:
+		n.net.Send(n.id, from, Pong{})
+	case Pong:
+		n.ages[from] = 0
+	}
+}
+
+// heartbeat prunes dead neighbors, refreshes tree membership for every
+// subscription, and expires tree soft state.
+func (n *Node) heartbeat() {
+	now := n.eng.Now()
+	for _, d := range n.xchg.RT() {
+		n.ages[d.ID]++
+		if n.ages[d.ID] > n.params.StaleAge {
+			n.xchg.Remove(d.ID)
+			delete(n.ages, d.ID)
+			n.suspects[d.ID] = now + 3*simnet.Time(n.params.StaleAge)*n.params.HeartbeatPeriod
+			continue
+		}
+		n.net.Send(n.id, d.ID, Ping{})
+	}
+	for id, until := range n.suspects {
+		if until <= now {
+			delete(n.suspects, id)
+		}
+	}
+	n.seenRounds++
+	if n.seenRounds >= 30 { // same rotation policy as internal/core
+		n.seenRounds = 0
+		n.seen.rotate()
+	}
+	for id := range n.ages {
+		if !n.xchg.Contains(id) {
+			delete(n.ages, id)
+		}
+	}
+	// Sorted order keeps the message sequence (and thus the run)
+	// deterministic.
+	for _, t := range n.sortedSubs() {
+		n.joinTree(t)
+	}
+	for t, ts := range n.trees {
+		for c, exp := range ts.children {
+			if exp <= now {
+				delete(ts.children, c)
+			}
+		}
+		if !ts.live(now) {
+			delete(n.trees, t)
+		}
+	}
+}
+
+func (n *Node) sortedSubs() []TopicID {
+	out := make([]TopicID, 0, len(n.subs))
+	for t := range n.subs {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// joinTree performs one Scribe-style join/refresh step: set the parent to
+// the next greedy hop toward hash(t) and send it a SubscribeMsg.
+func (n *Node) joinTree(t TopicID) {
+	now := n.eng.Now()
+	ts := n.treeFor(t)
+	next, ok := n.closestNeighborTo(t)
+	if !ok {
+		ts.rendezvous = true
+		ts.rendezExpiry = now + n.params.TreeLease
+		return
+	}
+	ts.hasParent = true
+	ts.parent = next
+	ts.parentExpiry = now + n.params.TreeLease
+	n.net.Send(n.id, next, SubscribeMsg{Topic: t, TTL: n.params.LookupTTL})
+}
+
+func (n *Node) handleSubscribe(from NodeID, m SubscribeMsg) {
+	now := n.eng.Now()
+	ts := n.treeFor(m.Topic)
+	ts.children[from] = now + n.params.TreeLease
+	if m.TTL <= 0 {
+		return
+	}
+	next, ok := n.closestNeighborTo(m.Topic)
+	if !ok {
+		ts.rendezvous = true
+		ts.rendezExpiry = now + n.params.TreeLease
+		return
+	}
+	ts.hasParent = true
+	ts.parent = next
+	ts.parentExpiry = now + n.params.TreeLease
+	n.net.Send(n.id, next, SubscribeMsg{Topic: m.Topic, TTL: m.TTL - 1})
+}
+
+// Publish creates an event and routes it toward the topic's rendezvous; the
+// tree then floods it to the subscribers.
+func (n *Node) Publish(t TopicID) EventID {
+	ev := EventID{Publisher: n.id, Seq: n.pubSeq}
+	n.pubSeq++
+	n.seen.add(ev)
+	if n.subs[t] && n.hooks.OnDeliver != nil {
+		n.hooks.OnDeliver(n.id, t, ev, 0)
+	}
+	if ts, ok := n.trees[t]; ok && ts.live(n.eng.Now()) {
+		// Publisher already on the tree: disseminate directly.
+		n.spread(t, ev, 0, n.id)
+		return ev
+	}
+	next, ok := n.closestNeighborTo(t)
+	if !ok {
+		// We are the rendezvous but hold no tree state: no reachable
+		// subscribers yet.
+		return ev
+	}
+	n.net.Send(n.id, next, Notification{Topic: t, Event: ev, Hops: 1, Routing: true})
+	return ev
+}
+
+func (n *Node) handleNotification(from NodeID, m Notification) {
+	if n.hooks.OnNotification != nil {
+		n.hooks.OnNotification(n.id, m.Topic, n.subs[m.Topic])
+	}
+	if n.seen.has(m.Event) {
+		return
+	}
+	n.seen.add(m.Event)
+	if n.subs[m.Topic] && n.hooks.OnDeliver != nil {
+		n.hooks.OnDeliver(n.id, m.Topic, m.Event, m.Hops)
+	}
+
+	ts, onTree := n.trees[m.Topic]
+	if onTree && ts.live(n.eng.Now()) {
+		// Reached the multicast tree: flood along it (both directions;
+		// the seen-set stops echoes).
+		n.spread(m.Topic, m.Event, m.Hops, from)
+		return
+	}
+	if m.Routing {
+		next, ok := n.closestNeighborTo(m.Topic)
+		if !ok {
+			// Rendezvous without tree state: nobody subscribed via us.
+			return
+		}
+		n.net.Send(n.id, next, Notification{Topic: m.Topic, Event: m.Event, Hops: m.Hops + 1, Routing: true})
+	}
+}
+
+// spread forwards the event along the tree links for the topic.
+func (n *Node) spread(t TopicID, ev EventID, hops int, exclude NodeID) {
+	ts, ok := n.trees[t]
+	if !ok {
+		return
+	}
+	now := n.eng.Now()
+	targets := make(map[NodeID]bool)
+	if ts.hasParent && ts.parentExpiry > now {
+		targets[ts.parent] = true
+	}
+	for c, exp := range ts.children {
+		if exp > now {
+			targets[c] = true
+		}
+	}
+	delete(targets, exclude)
+	delete(targets, n.id)
+	ids := make([]NodeID, 0, len(targets))
+	for id := range targets {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n.net.Send(n.id, id, Notification{Topic: t, Event: ev, Hops: hops + 1})
+	}
+}
+
+func (n *Node) treeFor(t TopicID) *treeState {
+	ts, ok := n.trees[t]
+	if !ok {
+		ts = &treeState{children: make(map[NodeID]simnet.Time)}
+		n.trees[t] = ts
+	}
+	return ts
+}
+
+func (n *Node) closestNeighborTo(target idspace.ID) (NodeID, bool) {
+	best := n.id
+	for _, d := range n.xchg.RT() {
+		if idspace.Closer(d.ID, best, target) {
+			best = d.ID
+		}
+	}
+	if best == n.id {
+		return 0, false
+	}
+	return best, true
+}
+
+// RoutingTable exposes the current table for tests.
+func (n *Node) RoutingTable() []NodeID {
+	rt := n.xchg.RT()
+	out := make([]NodeID, len(rt))
+	for i, d := range rt {
+		out[i] = d.ID
+	}
+	return out
+}
+
+// OnTree reports whether the node holds live tree state for t.
+func (n *Node) OnTree(t TopicID) bool {
+	ts, ok := n.trees[t]
+	return ok && ts.live(n.eng.Now())
+}
+
+// IsRendezvous reports live rendezvous state for t.
+func (n *Node) IsRendezvous(t TopicID) bool {
+	ts, ok := n.trees[t]
+	return ok && ts.rendezvous && ts.rendezExpiry > n.eng.Now()
+}
+
+// harmonicDistance and argmin mirror the core implementations; RVR keeps its
+// own copies so the baseline stays self-contained.
+func harmonicDistance(rng *rand.Rand, n int) uint64 {
+	if n < 2 {
+		n = 2
+	}
+	u := rng.Float64()
+	x := math.Pow(float64(n), u-1)
+	d := x * math.Pow(2, 64)
+	if d >= math.MaxUint64 {
+		return math.MaxUint64
+	}
+	if d < 1 {
+		return 1
+	}
+	return uint64(d)
+}
+
+func argmin(buffer []tman.Descriptor, used map[NodeID]bool, key func(tman.Descriptor) uint64) (tman.Descriptor, bool) {
+	var best tman.Descriptor
+	bestKey := uint64(math.MaxUint64)
+	found := false
+	for _, d := range buffer {
+		if used[d.ID] {
+			continue
+		}
+		k := key(d)
+		if !found || k < bestKey || (k == bestKey && d.ID < best.ID) {
+			best, bestKey, found = d, k, true
+		}
+	}
+	return best, found
+}

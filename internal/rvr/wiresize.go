@@ -1,0 +1,15 @@
+package rvr
+
+// Wire-size estimates for bandwidth accounting (simnet.Sized).
+
+// WireSize implements simnet.Sized.
+func (m SubscribeMsg) WireSize() int { return 8 + 4 }
+
+// WireSize implements simnet.Sized.
+func (m Notification) WireSize() int { return 8 + 16 + 4 + 1 }
+
+// WireSize implements simnet.Sized.
+func (m Ping) WireSize() int { return 1 }
+
+// WireSize implements simnet.Sized.
+func (m Pong) WireSize() int { return 1 }

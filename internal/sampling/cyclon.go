@@ -1,0 +1,226 @@
+package sampling
+
+import (
+	"math/rand"
+	"sort"
+
+	"vitis/internal/simnet"
+)
+
+// Cyclon is an alternative peer-sampling implementation (Voulgaris et al.):
+// instead of Newscast's full-view swap, each round the node *shuffles* a
+// small subset of its view with the oldest peer, replacing exactly the
+// entries it sent away. Compared to Newscast it churns the view more gently
+// and spreads descriptors more uniformly; the paper only requires *some*
+// peer sampling service [6, 23-25], so both are provided and either can back
+// the overlay.
+type Cyclon struct {
+	net     *simnet.Network
+	self    simnet.NodeID
+	cfg     CyclonConfig
+	rng     *rand.Rand
+	view    []Descriptor
+	stopped bool
+
+	// pending remembers the descriptors sent in the last shuffle so the
+	// reply can replace them.
+	pending []Descriptor
+}
+
+// CyclonConfig parameterises the shuffler.
+type CyclonConfig struct {
+	ViewSize    int         // default 20
+	ShuffleSize int         // entries exchanged per round, default 5
+	Period      simnet.Time // default 1 s
+}
+
+func (c *CyclonConfig) setDefaults() {
+	if c.ViewSize == 0 {
+		c.ViewSize = 20
+	}
+	if c.ShuffleSize == 0 {
+		c.ShuffleSize = 5
+	}
+	if c.ShuffleSize > c.ViewSize {
+		c.ShuffleSize = c.ViewSize
+	}
+	if c.Period == 0 {
+		c.Period = simnet.Second
+	}
+}
+
+// Cyclon wire messages.
+type (
+	// ShuffleRequest carries the initiator's subset (self descriptor
+	// included).
+	ShuffleRequest struct{ Subset []Descriptor }
+	// ShuffleReply carries the responder's subset.
+	ShuffleReply struct{ Subset []Descriptor }
+)
+
+// NewCyclon creates a Cyclon shuffler bootstrapped with the given peers.
+func NewCyclon(net *simnet.Network, self simnet.NodeID, cfg CyclonConfig, bootstrap []simnet.NodeID, rng *rand.Rand) *Cyclon {
+	cfg.setDefaults()
+	c := &Cyclon{net: net, self: self, cfg: cfg, rng: rng}
+	for _, id := range bootstrap {
+		if id != self {
+			c.view = append(c.view, Descriptor{ID: id})
+		}
+	}
+	if len(c.view) > cfg.ViewSize {
+		c.view = c.view[:cfg.ViewSize]
+	}
+	return c
+}
+
+// Start begins periodic shuffling until Stop.
+func (c *Cyclon) Start() {
+	c.net.Engine().Every(c.cfg.Period, func() bool {
+		if c.stopped {
+			return false
+		}
+		c.tick()
+		return true
+	})
+}
+
+// Stop halts shuffling permanently.
+func (c *Cyclon) Stop() { c.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (c *Cyclon) Stopped() bool { return c.stopped }
+
+func (c *Cyclon) tick() {
+	if len(c.view) == 0 {
+		return
+	}
+	// Age everything and pick the oldest peer as shuffle partner.
+	oldest := 0
+	for i := range c.view {
+		c.view[i].Age++
+		if c.view[i].Age > c.view[oldest].Age ||
+			(c.view[i].Age == c.view[oldest].Age && c.view[i].ID < c.view[oldest].ID) {
+			oldest = i
+		}
+	}
+	partner := c.view[oldest]
+	// Remove the partner from the view (it is being contacted; its slot
+	// will be refilled by the reply).
+	c.view = append(c.view[:oldest], c.view[oldest+1:]...)
+
+	subset := c.sampleSubset(c.cfg.ShuffleSize - 1)
+	c.pending = append([]Descriptor(nil), subset...)
+	out := append([]Descriptor{{ID: c.self, Age: 0}}, subset...)
+	c.net.Send(c.self, partner.ID, ShuffleRequest{Subset: out})
+}
+
+// sampleSubset picks up to n random descriptors from the view (without
+// removal).
+func (c *Cyclon) sampleSubset(n int) []Descriptor {
+	if n >= len(c.view) {
+		return append([]Descriptor(nil), c.view...)
+	}
+	out := make([]Descriptor, 0, n)
+	for _, i := range c.rng.Perm(len(c.view))[:n] {
+		out = append(out, c.view[i])
+	}
+	return out
+}
+
+// HandleMessage consumes Cyclon messages; it reports false for others.
+func (c *Cyclon) HandleMessage(from simnet.NodeID, msg simnet.Message) bool {
+	switch m := msg.(type) {
+	case ShuffleRequest:
+		if !c.stopped {
+			reply := c.sampleSubset(c.cfg.ShuffleSize)
+			c.net.Send(c.self, from, ShuffleReply{Subset: reply})
+			c.absorb(m.Subset, reply)
+		}
+		return true
+	case ShuffleReply:
+		if !c.stopped {
+			c.absorb(m.Subset, c.pending)
+			c.pending = nil
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// absorb merges incoming descriptors, preferring to evict the entries that
+// were just sent to the peer (Cyclon's swap semantics), then the oldest.
+func (c *Cyclon) absorb(incoming, sent []Descriptor) {
+	sentSet := make(map[simnet.NodeID]bool, len(sent))
+	for _, d := range sent {
+		sentSet[d.ID] = true
+	}
+	have := make(map[simnet.NodeID]int, len(c.view))
+	for i, d := range c.view {
+		have[d.ID] = i
+	}
+	for _, d := range incoming {
+		if d.ID == c.self {
+			continue
+		}
+		if i, ok := have[d.ID]; ok {
+			if d.Age < c.view[i].Age {
+				c.view[i].Age = d.Age
+			}
+			continue
+		}
+		if len(c.view) < c.cfg.ViewSize {
+			have[d.ID] = len(c.view)
+			c.view = append(c.view, d)
+			continue
+		}
+		// Evict: prefer a sent entry, else the oldest.
+		victim := -1
+		for i, v := range c.view {
+			if sentSet[v.ID] {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			victim = 0
+			for i, v := range c.view {
+				if v.Age > c.view[victim].Age {
+					victim = i
+				}
+			}
+		}
+		delete(have, c.view[victim].ID)
+		have[d.ID] = victim
+		c.view[victim] = d
+	}
+}
+
+// View returns a copy of the current view.
+func (c *Cyclon) View() []Descriptor {
+	out := append([]Descriptor(nil), c.view...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Sample returns up to n distinct node ids drawn uniformly from the view.
+func (c *Cyclon) Sample(n int) []simnet.NodeID {
+	if n >= len(c.view) {
+		out := make([]simnet.NodeID, len(c.view))
+		for i, d := range c.view {
+			out[i] = d.ID
+		}
+		return out
+	}
+	out := make([]simnet.NodeID, 0, n)
+	for _, i := range c.rng.Perm(len(c.view))[:n] {
+		out = append(out, c.view[i].ID)
+	}
+	return out
+}
+
+// WireSize implements simnet.Sized.
+func (m ShuffleRequest) WireSize() int { return 12 * len(m.Subset) }
+
+// WireSize implements simnet.Sized.
+func (m ShuffleReply) WireSize() int { return 12 * len(m.Subset) }

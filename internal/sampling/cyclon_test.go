@@ -1,0 +1,172 @@
+package sampling
+
+import (
+	"testing"
+
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+)
+
+func buildCyclonCluster(t *testing.T, n int) (*simnet.Engine, []*Cyclon, []simnet.NodeID) {
+	t.Helper()
+	eng := simnet.NewEngine(13)
+	net := simnet.NewNetwork(eng, simnet.UniformLatency{Min: 10, Max: 80})
+	ids := make([]simnet.NodeID, n)
+	for i := range ids {
+		ids[i] = idspace.HashUint64(uint64(i))
+	}
+	shufflers := make([]*Cyclon, n)
+	for i := range ids {
+		var boot []simnet.NodeID
+		for j := 1; j <= 3; j++ {
+			boot = append(boot, ids[(i+j)%n])
+		}
+		c := NewCyclon(net, ids[i], CyclonConfig{ViewSize: 10, ShuffleSize: 4}, boot, eng.DeriveRNG(int64(i)))
+		shufflers[i] = c
+		net.Attach(ids[i], simnet.HandlerFunc(func(from simnet.NodeID, msg simnet.Message) {
+			c.HandleMessage(from, msg)
+		}))
+		c.Start()
+	}
+	return eng, shufflers, ids
+}
+
+func TestCyclonViewFills(t *testing.T) {
+	eng, cs, _ := buildCyclonCluster(t, 30)
+	eng.RunUntil(40 * simnet.Second)
+	for i, c := range cs {
+		if len(c.View()) < 8 {
+			t.Errorf("node %d view has only %d entries", i, len(c.View()))
+		}
+		if len(c.View()) > 10 {
+			t.Errorf("node %d view exceeds bound: %d", i, len(c.View()))
+		}
+	}
+}
+
+func TestCyclonNoSelfInView(t *testing.T) {
+	eng, cs, ids := buildCyclonCluster(t, 20)
+	eng.RunUntil(30 * simnet.Second)
+	for i, c := range cs {
+		for _, d := range c.View() {
+			if d.ID == ids[i] {
+				t.Fatalf("node %d holds itself", i)
+			}
+		}
+	}
+}
+
+func TestCyclonSpreadsKnowledge(t *testing.T) {
+	eng, cs, _ := buildCyclonCluster(t, 30)
+	eng.RunUntil(60 * simnet.Second)
+	distinct := map[simnet.NodeID]bool{}
+	for _, c := range cs {
+		for _, d := range c.View() {
+			distinct[d.ID] = true
+		}
+	}
+	if len(distinct) < 25 {
+		t.Errorf("views cover only %d of 30 nodes", len(distinct))
+	}
+}
+
+func TestCyclonInDegreeBalance(t *testing.T) {
+	// Cyclon's hallmark: in-degree (how many views contain each node)
+	// stays balanced. No node should dominate.
+	eng, cs, ids := buildCyclonCluster(t, 30)
+	eng.RunUntil(60 * simnet.Second)
+	indeg := map[simnet.NodeID]int{}
+	for _, c := range cs {
+		for _, d := range c.View() {
+			indeg[d.ID]++
+		}
+	}
+	var max int
+	for _, id := range ids {
+		if indeg[id] > max {
+			max = indeg[id]
+		}
+	}
+	if max > 25 {
+		t.Errorf("max in-degree %d of 29 possible: badly skewed", max)
+	}
+}
+
+func TestCyclonSampleBounds(t *testing.T) {
+	eng, cs, _ := buildCyclonCluster(t, 10)
+	eng.RunUntil(20 * simnet.Second)
+	if got := cs[0].Sample(3); len(got) != 3 {
+		t.Errorf("Sample(3) returned %d", len(got))
+	}
+	all := cs[0].Sample(100)
+	if len(all) != len(cs[0].View()) {
+		t.Errorf("oversized sample %d != view %d", len(all), len(cs[0].View()))
+	}
+}
+
+func TestCyclonStopIgnoresMessages(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	net := simnet.NewNetwork(eng, simnet.ConstantLatency(1))
+	c := NewCyclon(net, 1, CyclonConfig{}, []simnet.NodeID{2}, eng.DeriveRNG(1))
+	c.Stop()
+	if !c.Stopped() {
+		t.Fatal("not stopped")
+	}
+	before := len(c.View())
+	c.HandleMessage(2, ShuffleRequest{Subset: []Descriptor{{ID: 9}}})
+	if len(c.View()) != before {
+		t.Error("stopped shuffler absorbed a subset")
+	}
+}
+
+func TestCyclonRejectsForeignMessages(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	net := simnet.NewNetwork(eng, simnet.ConstantLatency(1))
+	c := NewCyclon(net, 1, CyclonConfig{}, nil, eng.DeriveRNG(1))
+	if c.HandleMessage(2, "huh") {
+		t.Error("foreign message claimed")
+	}
+}
+
+func TestCyclonShuffleSizeClamped(t *testing.T) {
+	cfg := CyclonConfig{ViewSize: 3, ShuffleSize: 10}
+	cfg.setDefaults()
+	if cfg.ShuffleSize != 3 {
+		t.Errorf("ShuffleSize = %d, want clamped to 3", cfg.ShuffleSize)
+	}
+}
+
+func TestCyclonAbsorbPrefersFreshAge(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	net := simnet.NewNetwork(eng, simnet.ConstantLatency(1))
+	c := NewCyclon(net, 1, CyclonConfig{ViewSize: 4}, nil, eng.DeriveRNG(1))
+	c.absorb([]Descriptor{{ID: 5, Age: 9}}, nil)
+	c.absorb([]Descriptor{{ID: 5, Age: 2}}, nil)
+	v := c.View()
+	if len(v) != 1 || v[0].Age != 2 {
+		t.Errorf("view = %v", v)
+	}
+	// Older info must not regress.
+	c.absorb([]Descriptor{{ID: 5, Age: 8}}, nil)
+	if c.View()[0].Age != 2 {
+		t.Error("age regressed")
+	}
+}
+
+func TestCyclonEvictsSentEntriesFirst(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	net := simnet.NewNetwork(eng, simnet.ConstantLatency(1))
+	c := NewCyclon(net, 1, CyclonConfig{ViewSize: 2, ShuffleSize: 1}, []simnet.NodeID{10, 11}, eng.DeriveRNG(1))
+	// View full with {10, 11}; absorbing {12} having sent {10} must evict
+	// 10, not 11.
+	c.absorb([]Descriptor{{ID: 12}}, []Descriptor{{ID: 10}})
+	v := c.View()
+	if len(v) != 2 {
+		t.Fatalf("view = %v", v)
+	}
+	for _, d := range v {
+		if d.ID == 10 {
+			t.Error("sent entry should have been evicted first")
+		}
+	}
+}

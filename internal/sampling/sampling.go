@@ -1,0 +1,202 @@
+// Package sampling implements a gossip-based peer sampling service in the
+// style of Newscast / Jelasity et al., the membership substrate all three
+// systems in the paper share (§IV: "they use the same peer sampling
+// service").
+//
+// Every node keeps a small view of (id, age) descriptors. Once per period it
+// ages its view, picks a random live-looking peer, and swaps views; both
+// sides keep the freshest ViewSize distinct descriptors. Fresh random
+// samples for the topology-construction layer come straight out of the view.
+package sampling
+
+import (
+	"math/rand"
+	"sort"
+
+	"vitis/internal/simnet"
+)
+
+// Descriptor is one view entry: a node id and its age in gossip rounds.
+// Lower age means fresher information.
+type Descriptor struct {
+	ID  simnet.NodeID
+	Age int
+}
+
+// Config parameterises the service. Zero values take the defaults noted on
+// the fields.
+type Config struct {
+	ViewSize int         // default 20
+	Period   simnet.Time // default 1 simulated second
+}
+
+func (c *Config) setDefaults() {
+	if c.ViewSize == 0 {
+		c.ViewSize = 20
+	}
+	if c.Period == 0 {
+		c.Period = simnet.Second
+	}
+}
+
+// Request and Reply are the two wire messages of the service.
+type (
+	// Request carries the initiator's merged view.
+	Request struct{ View []Descriptor }
+	// Reply carries the responder's merged view.
+	Reply struct{ View []Descriptor }
+)
+
+// Service is the per-node peer sampling instance.
+type Service struct {
+	net     *simnet.Network
+	self    simnet.NodeID
+	cfg     Config
+	rng     *rand.Rand
+	view    []Descriptor
+	stopped bool
+
+	exchanges uint64
+}
+
+// New creates a service for node self, initialised with the given bootstrap
+// peers (age 0).
+func New(net *simnet.Network, self simnet.NodeID, cfg Config, bootstrap []simnet.NodeID, rng *rand.Rand) *Service {
+	cfg.setDefaults()
+	s := &Service{net: net, self: self, cfg: cfg, rng: rng}
+	for _, id := range bootstrap {
+		if id != self {
+			s.view = append(s.view, Descriptor{ID: id})
+		}
+	}
+	s.truncate()
+	return s
+}
+
+// Start begins the periodic gossip; it keeps running until Stop.
+func (s *Service) Start() {
+	s.net.Engine().Every(s.cfg.Period, func() bool {
+		if s.stopped {
+			return false
+		}
+		s.tick()
+		return true
+	})
+}
+
+// Stop halts gossip permanently (node leave or crash).
+func (s *Service) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (s *Service) Stopped() bool { return s.stopped }
+
+func (s *Service) tick() {
+	if len(s.view) == 0 {
+		return
+	}
+	for i := range s.view {
+		s.view[i].Age++
+	}
+	peer := s.view[s.rng.Intn(len(s.view))].ID
+	s.exchanges++
+	s.net.Send(s.self, peer, Request{View: s.outgoingView()})
+}
+
+// outgoingView is the local view plus a fresh self descriptor.
+func (s *Service) outgoingView() []Descriptor {
+	out := make([]Descriptor, 0, len(s.view)+1)
+	out = append(out, Descriptor{ID: s.self, Age: 0})
+	out = append(out, s.view...)
+	return out
+}
+
+// HandleMessage consumes sampling-protocol messages; it reports false for
+// anything else so the caller can dispatch further.
+func (s *Service) HandleMessage(from simnet.NodeID, msg simnet.Message) bool {
+	switch m := msg.(type) {
+	case Request:
+		if !s.stopped {
+			s.net.Send(s.self, from, Reply{View: s.outgoingView()})
+			s.merge(m.View)
+		}
+		return true
+	case Reply:
+		if !s.stopped {
+			s.merge(m.View)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// merge folds the incoming view into the local one, keeping the freshest
+// descriptor per id and then the ViewSize freshest overall.
+func (s *Service) merge(incoming []Descriptor) {
+	best := make(map[simnet.NodeID]int, len(s.view)+len(incoming))
+	for _, d := range s.view {
+		if cur, ok := best[d.ID]; !ok || d.Age < cur {
+			best[d.ID] = d.Age
+		}
+	}
+	for _, d := range incoming {
+		if d.ID == s.self {
+			continue
+		}
+		if cur, ok := best[d.ID]; !ok || d.Age < cur {
+			best[d.ID] = d.Age
+		}
+	}
+	s.view = s.view[:0]
+	for id, age := range best {
+		s.view = append(s.view, Descriptor{ID: id, Age: age})
+	}
+	// Sort by (age, id) so truncation keeps the freshest and stays
+	// deterministic.
+	sort.Slice(s.view, func(i, j int) bool {
+		if s.view[i].Age != s.view[j].Age {
+			return s.view[i].Age < s.view[j].Age
+		}
+		return s.view[i].ID < s.view[j].ID
+	})
+	s.truncate()
+}
+
+func (s *Service) truncate() {
+	if len(s.view) > s.cfg.ViewSize {
+		s.view = s.view[:s.cfg.ViewSize]
+	}
+}
+
+// View returns a copy of the current view.
+func (s *Service) View() []Descriptor {
+	return append([]Descriptor(nil), s.view...)
+}
+
+// Sample returns up to n distinct node ids drawn uniformly from the current
+// view.
+func (s *Service) Sample(n int) []simnet.NodeID {
+	if n >= len(s.view) {
+		out := make([]simnet.NodeID, len(s.view))
+		for i, d := range s.view {
+			out[i] = d.ID
+		}
+		return out
+	}
+	perm := s.rng.Perm(len(s.view))
+	out := make([]simnet.NodeID, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.view[perm[i]].ID
+	}
+	return out
+}
+
+// Exchanges returns how many gossip exchanges this node initiated (used by
+// tests and overhead accounting).
+func (s *Service) Exchanges() uint64 { return s.exchanges }
+
+// WireSize implements simnet.Sized: 12 bytes per (id, age) descriptor.
+func (m Request) WireSize() int { return 12 * len(m.View) }
+
+// WireSize implements simnet.Sized.
+func (m Reply) WireSize() int { return 12 * len(m.View) }

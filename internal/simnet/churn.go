@@ -1,0 +1,111 @@
+package simnet
+
+import "sort"
+
+// Session is one continuous period of node availability, [Join, Leave).
+// A Leave of NoLeave means the node stays until the end of the run.
+type Session struct {
+	Node  NodeID
+	Join  Time
+	Leave Time
+}
+
+// NoLeave marks a session without a scheduled departure.
+const NoLeave Time = 1<<63 - 1
+
+// Trace is a churn trace: a set of node sessions. Nodes may appear in
+// several sessions (leave and rejoin), mirroring the Skype availability
+// trace the paper replays.
+type Trace []Session
+
+// Validate checks that every session has Join < Leave and that sessions of
+// the same node do not overlap. It returns the first problem found.
+func (tr Trace) Validate() error {
+	perNode := make(map[NodeID][]Session)
+	for _, s := range tr {
+		if s.Leave <= s.Join {
+			return &TraceError{Session: s, Reason: "leave not after join"}
+		}
+		perNode[s.Node] = append(perNode[s.Node], s)
+	}
+	for _, ss := range perNode {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Join < ss[j].Join })
+		for i := 1; i < len(ss); i++ {
+			if ss[i].Join < ss[i-1].Leave {
+				return &TraceError{Session: ss[i], Reason: "overlaps previous session of same node"}
+			}
+		}
+	}
+	return nil
+}
+
+// TraceError describes an invalid session in a trace.
+type TraceError struct {
+	Session Session
+	Reason  string
+}
+
+func (e *TraceError) Error() string {
+	return "simnet: invalid trace session for node " + e.Session.Node.String() + ": " + e.Reason
+}
+
+// End returns the largest finite Leave time in the trace, or the largest
+// Join if no session ever leaves.
+func (tr Trace) End() Time {
+	var end Time
+	for _, s := range tr {
+		if s.Leave != NoLeave && s.Leave > end {
+			end = s.Leave
+		}
+		if s.Join > end {
+			end = s.Join
+		}
+	}
+	return end
+}
+
+// AliveAt returns the ids of nodes with a session covering time t.
+func (tr Trace) AliveAt(t Time) []NodeID {
+	var out []NodeID
+	for _, s := range tr {
+		if s.Join <= t && t < s.Leave {
+			out = append(out, s.Node)
+		}
+	}
+	return out
+}
+
+// SizeSeries samples the number of alive nodes at the given interval from 0
+// to End(), inclusive. It backs the "network size" curve of Fig. 12.
+func (tr Trace) SizeSeries(interval Time) []int {
+	if interval <= 0 {
+		panic("simnet: SizeSeries with non-positive interval")
+	}
+	end := tr.End()
+	var out []int
+	for t := Time(0); t <= end; t += interval {
+		out = append(out, len(tr.AliveAt(t)))
+	}
+	return out
+}
+
+// ApplyTrace schedules onJoin/onLeave callbacks on the engine for every
+// session in the trace. The callbacks run at the session boundaries in
+// deterministic (time, insertion) order; sessions are applied sorted by
+// (Join, Node) so equal-time joins are reproducible.
+func ApplyTrace(eng *Engine, tr Trace, onJoin, onLeave func(NodeID)) {
+	sorted := append(Trace(nil), tr...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Join != sorted[j].Join {
+			return sorted[i].Join < sorted[j].Join
+		}
+		return sorted[i].Node < sorted[j].Node
+	})
+	for _, s := range sorted {
+		s := s
+		eng.ScheduleAt(s.Join, func() { onJoin(s.Node) })
+		if s.Leave != NoLeave {
+			eng.ScheduleAt(s.Leave, func() { onLeave(s.Node) })
+		}
+	}
+}

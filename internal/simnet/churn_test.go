@@ -1,0 +1,123 @@
+package simnet
+
+import (
+	"testing"
+)
+
+func TestTraceValidateOK(t *testing.T) {
+	tr := Trace{
+		{Node: 1, Join: 0, Leave: 100},
+		{Node: 1, Join: 100, Leave: 200}, // back-to-back is fine
+		{Node: 2, Join: 50, Leave: NoLeave},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestTraceValidateRejectsInvertedSession(t *testing.T) {
+	tr := Trace{{Node: 1, Join: 100, Leave: 100}}
+	if err := tr.Validate(); err == nil {
+		t.Error("expected error for zero-length session")
+	}
+}
+
+func TestTraceValidateRejectsOverlap(t *testing.T) {
+	tr := Trace{
+		{Node: 1, Join: 0, Leave: 100},
+		{Node: 1, Join: 50, Leave: 150},
+	}
+	err := tr.Validate()
+	if err == nil {
+		t.Fatal("expected overlap error")
+	}
+	if _, ok := err.(*TraceError); !ok {
+		t.Errorf("error type %T", err)
+	}
+}
+
+func TestTraceEnd(t *testing.T) {
+	tr := Trace{
+		{Node: 1, Join: 0, Leave: 100},
+		{Node: 2, Join: 500, Leave: NoLeave},
+	}
+	if got := tr.End(); got != 500 {
+		t.Errorf("End = %d, want 500", got)
+	}
+}
+
+func TestTraceAliveAt(t *testing.T) {
+	tr := Trace{
+		{Node: 1, Join: 0, Leave: 100},
+		{Node: 2, Join: 50, Leave: 150},
+	}
+	if got := len(tr.AliveAt(75)); got != 2 {
+		t.Errorf("alive at 75: %d, want 2", got)
+	}
+	if got := len(tr.AliveAt(125)); got != 1 {
+		t.Errorf("alive at 125: %d, want 1", got)
+	}
+	if got := len(tr.AliveAt(100)); got != 1 { // leave boundary is exclusive
+		t.Errorf("alive at 100: %d, want 1", got)
+	}
+}
+
+func TestTraceSizeSeries(t *testing.T) {
+	tr := Trace{
+		{Node: 1, Join: 0, Leave: 100},
+		{Node: 2, Join: 50, Leave: 150},
+	}
+	got := tr.SizeSeries(50)
+	want := []int{1, 2, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("series = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("series[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestApplyTraceSchedulesCallbacks(t *testing.T) {
+	eng := NewEngine(1)
+	tr := Trace{
+		{Node: 7, Join: 10, Leave: 30},
+		{Node: 8, Join: 20, Leave: NoLeave},
+	}
+	var events []string
+	ApplyTrace(eng, tr,
+		func(id NodeID) { events = append(events, "join") },
+		func(id NodeID) { events = append(events, "leave") })
+	eng.RunUntil(1000)
+	if len(events) != 3 {
+		t.Fatalf("events = %v", events)
+	}
+	if events[0] != "join" || events[1] != "join" || events[2] != "leave" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestApplyTraceDeterministicOnEqualJoins(t *testing.T) {
+	run := func() []NodeID {
+		eng := NewEngine(1)
+		tr := Trace{
+			{Node: 9, Join: 10, Leave: NoLeave},
+			{Node: 3, Join: 10, Leave: NoLeave},
+			{Node: 6, Join: 10, Leave: NoLeave},
+		}
+		var order []NodeID
+		ApplyTrace(eng, tr, func(id NodeID) { order = append(order, id) }, func(NodeID) {})
+		eng.RunUntil(100)
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic join order: %v vs %v", a, b)
+		}
+	}
+	if a[0] != 3 || a[1] != 6 || a[2] != 9 {
+		t.Errorf("equal-time joins should be id-sorted, got %v", a)
+	}
+}

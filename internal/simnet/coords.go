@@ -1,0 +1,52 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Coord is a point in a 2-D virtual network coordinate space (à la Vivaldi):
+// the Euclidean distance between two nodes' coordinates approximates their
+// physical network latency.
+type Coord struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance to other.
+func (c Coord) Distance(other Coord) float64 {
+	dx, dy := c.X-other.X, c.Y-other.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// RandomCoords assigns every id a uniform coordinate in [0, extent)².
+func RandomCoords(rng *rand.Rand, ids []NodeID, extent float64) map[NodeID]Coord {
+	out := make(map[NodeID]Coord, len(ids))
+	for _, id := range ids {
+		out[id] = Coord{X: rng.Float64() * extent, Y: rng.Float64() * extent}
+	}
+	return out
+}
+
+// CoordLatency derives message latency from coordinate distance:
+// latency = Base + PerUnit · dist(from, to), with Fallback used when either
+// endpoint has no coordinate. It models the physical-topology awareness the
+// paper suggests as an extension of the preference function (§III-A2).
+type CoordLatency struct {
+	Coords   map[NodeID]Coord
+	Base     Time
+	PerUnit  float64 // milliseconds per coordinate unit
+	Fallback Time
+}
+
+// Latency implements LatencyModel.
+func (c CoordLatency) Latency(_ *rand.Rand, from, to NodeID) Time {
+	a, okA := c.Coords[from]
+	b, okB := c.Coords[to]
+	if !okA || !okB {
+		if c.Fallback > 0 {
+			return c.Fallback
+		}
+		return c.Base
+	}
+	return c.Base + Time(c.PerUnit*a.Distance(b))
+}

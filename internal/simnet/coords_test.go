@@ -1,0 +1,74 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordDistance(t *testing.T) {
+	a := Coord{0, 0}
+	b := Coord{3, 4}
+	if d := a.Distance(b); d != 5 {
+		t.Errorf("distance = %g, want 5", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Errorf("self distance = %g", d)
+	}
+}
+
+func TestCoordDistanceSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		a, b := Coord{ax, ay}, Coord{bx, by}
+		d1, d2 := a.Distance(b), b.Distance(a)
+		return d1 == d2 || (math.IsInf(d1, 1) && math.IsInf(d2, 1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomCoordsWithinExtent(t *testing.T) {
+	eng := NewEngine(1)
+	ids := []NodeID{1, 2, 3, 4, 5}
+	coords := RandomCoords(eng.DeriveRNG(1), ids, 100)
+	if len(coords) != 5 {
+		t.Fatalf("got %d coords", len(coords))
+	}
+	for id, c := range coords {
+		if c.X < 0 || c.X >= 100 || c.Y < 0 || c.Y >= 100 {
+			t.Errorf("node %v at %+v outside extent", id, c)
+		}
+	}
+}
+
+func TestCoordLatencyScalesWithDistance(t *testing.T) {
+	coords := map[NodeID]Coord{
+		1: {0, 0},
+		2: {0, 10},
+		3: {0, 100},
+	}
+	lat := CoordLatency{Coords: coords, Base: 5, PerUnit: 1}
+	near := lat.Latency(nil, 1, 2)
+	far := lat.Latency(nil, 1, 3)
+	if near != 15 {
+		t.Errorf("near latency = %d, want 15", near)
+	}
+	if far != 105 {
+		t.Errorf("far latency = %d, want 105", far)
+	}
+}
+
+func TestCoordLatencyFallback(t *testing.T) {
+	lat := CoordLatency{Coords: map[NodeID]Coord{1: {0, 0}}, Base: 5, PerUnit: 1, Fallback: 42}
+	if got := lat.Latency(nil, 1, 99); got != 42 {
+		t.Errorf("fallback latency = %d, want 42", got)
+	}
+	noFallback := CoordLatency{Coords: nil, Base: 7, PerUnit: 1}
+	if got := noFallback.Latency(nil, 1, 2); got != 7 {
+		t.Errorf("base fallback = %d, want 7", got)
+	}
+}

@@ -1,0 +1,145 @@
+// Package simnet is the discrete-event network simulator underneath the
+// Vitis reproduction — the stand-in for PeerSim used by the paper.
+//
+// The engine maintains a virtual clock and an event queue ordered by
+// (time, insertion sequence), which makes runs fully deterministic for a
+// given seed. Protocols interact with each other exclusively through
+// Network.Send, which delivers messages after a latency drawn from a
+// pluggable LatencyModel, and with time through Schedule/Every, which model
+// the periodic gossip rounds (δt in the paper's algorithms).
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is simulated time in milliseconds.
+type Time int64
+
+// Convenient duration units.
+const (
+	Millisecond Time = 1
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is a deterministic discrete-event scheduler.
+type Engine struct {
+	now  Time
+	seq  uint64
+	pq   eventHeap
+	rng  *rand.Rand
+	seed int64
+}
+
+// NewEngine creates an engine whose random stream is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's random stream. All protocol randomness must come
+// from here (or from DeriveRNG) to keep runs reproducible.
+func (e *Engine) RNG() *rand.Rand { return e.rng }
+
+// DeriveRNG returns an independent random stream deterministically derived
+// from the engine seed and the given stream label. Use one stream per
+// subsystem so adding randomness in one protocol does not perturb another.
+func (e *Engine) DeriveRNG(label int64) *rand.Rand {
+	return rand.New(rand.NewSource(e.seed*1000003 + label))
+}
+
+// Schedule runs fn after delay (clamped to zero if negative).
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time t. Times in the past execute at the
+// current time (after already-queued events for this instant).
+func (e *Engine) ScheduleAt(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Every schedules fn to run repeatedly with the given period, starting after
+// an initial random phase in [0, period) drawn from the engine RNG (so that
+// gossip rounds of different nodes do not align artificially). fn returning
+// false cancels the ticker.
+func (e *Engine) Every(period Time, fn func() bool) {
+	if period <= 0 {
+		panic("simnet: Every with non-positive period")
+	}
+	phase := Time(e.rng.Int63n(int64(period)))
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.Schedule(period, tick)
+		}
+	}
+	e.Schedule(phase, tick)
+}
+
+// Step executes the next event; it reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.pq.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the clock would pass t; afterwards the
+// clock reads exactly t. Events scheduled at exactly t are executed.
+func (e *Engine) RunUntil(t Time) {
+	for e.pq.Len() > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Drain executes events until the queue is empty or maxEvents have run,
+// whichever comes first. It returns the number of events executed. Useful in
+// tests that must terminate even if a protocol keeps rescheduling.
+func (e *Engine) Drain(maxEvents int) int {
+	n := 0
+	for n < maxEvents && e.Step() {
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.pq.Len() }

@@ -1,0 +1,207 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	for e.Step() {
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	for e.Step() {
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at equal time not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(-5, func() { ran = true })
+	e.Step()
+	if !ran || e.Now() != 0 {
+		t.Errorf("ran=%v now=%d", ran, e.Now())
+	}
+}
+
+func TestScheduleAtInPastRunsNow(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(100, func() {})
+	e.Step()
+	ran := false
+	e.ScheduleAt(50, func() { ran = true })
+	e.Step()
+	if !ran {
+		t.Fatal("past event did not run")
+	}
+	if e.Now() != 100 {
+		t.Errorf("clock went backwards: %d", e.Now())
+	}
+}
+
+func TestRunUntilAdvancesClockExactly(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(10, func() { count++ })
+	e.Schedule(20, func() { count++ })
+	e.Schedule(30, func() { count++ })
+	e.RunUntil(20)
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %d, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestRunUntilWithEmptyQueueSetsClock(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Errorf("Now = %d", e.Now())
+	}
+}
+
+func TestEventsScheduledDuringEventRun(t *testing.T) {
+	e := NewEngine(1)
+	var hits []Time
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.RunUntil(100)
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestEveryTicksAndCancels(t *testing.T) {
+	e := NewEngine(42)
+	ticks := 0
+	e.Every(10, func() bool {
+		ticks++
+		return ticks < 5
+	})
+	e.RunUntil(1000)
+	if ticks != 5 {
+		t.Errorf("ticks = %d, want 5", ticks)
+	}
+}
+
+func TestEveryPhaseWithinPeriod(t *testing.T) {
+	e := NewEngine(7)
+	var first Time = -1
+	e.Every(100, func() bool {
+		if first < 0 {
+			first = e.Now()
+		}
+		return false
+	})
+	e.RunUntil(200)
+	if first < 0 || first >= 100 {
+		t.Errorf("first tick at %d, want in [0,100)", first)
+	}
+}
+
+func TestEveryPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewEngine(1).Every(0, func() bool { return false })
+}
+
+func TestDrainBounded(t *testing.T) {
+	e := NewEngine(1)
+	var tick func()
+	tick = func() { e.Schedule(1, tick) } // never terminates on its own
+	e.Schedule(0, tick)
+	n := e.Drain(100)
+	if n != 100 {
+		t.Errorf("Drain ran %d events, want 100", n)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(99)
+		var out []Time
+		rng := e.DeriveRNG(1)
+		for i := 0; i < 20; i++ {
+			e.Schedule(Time(rng.Int63n(1000)), func() { out = append(out, e.Now()) })
+		}
+		e.RunUntil(2000)
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDeriveRNGIndependentStreams(t *testing.T) {
+	e := NewEngine(5)
+	a := e.DeriveRNG(1).Uint64()
+	b := e.DeriveRNG(2).Uint64()
+	a2 := e.DeriveRNG(1).Uint64()
+	if a != a2 {
+		t.Error("same label should give same stream")
+	}
+	if a == b {
+		t.Error("different labels should give different streams")
+	}
+}
+
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(delays []int16) bool {
+		e := NewEngine(3)
+		var last Time = -1
+		ok := true
+		for _, d := range delays {
+			e.Schedule(Time(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		for e.Step() {
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

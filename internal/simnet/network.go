@@ -1,0 +1,192 @@
+package simnet
+
+import (
+	"math/rand"
+
+	"vitis/internal/idspace"
+)
+
+// NodeID identifies a simulated node; it lives in the same identifier space
+// as topic ids, as the paper requires.
+type NodeID = idspace.ID
+
+// Message is an arbitrary protocol payload. Protocols type-switch on their
+// own message types in Deliver.
+type Message any
+
+// Handler receives messages addressed to an attached node.
+type Handler interface {
+	Deliver(from NodeID, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from NodeID, msg Message)
+
+// Deliver calls f(from, msg).
+func (f HandlerFunc) Deliver(from NodeID, msg Message) { f(from, msg) }
+
+// LatencyModel produces the one-way delay for a message.
+type LatencyModel interface {
+	Latency(rng *rand.Rand, from, to NodeID) Time
+}
+
+// Sized is implemented by messages that can estimate their wire size in
+// bytes (headers excluded); used for bandwidth accounting.
+type Sized interface {
+	WireSize() int
+}
+
+// HeaderBytes approximates the per-message transport overhead (UDP/IP).
+const HeaderBytes = 28
+
+// WireSizeOf estimates the on-the-wire size of a message: HeaderBytes plus
+// the message's own estimate, or a small default for unsized messages.
+func WireSizeOf(msg Message) int {
+	if s, ok := msg.(Sized); ok {
+		return HeaderBytes + s.WireSize()
+	}
+	return HeaderBytes + 8
+}
+
+// ConstantLatency delays every message by the same amount.
+type ConstantLatency Time
+
+// Latency implements LatencyModel.
+func (c ConstantLatency) Latency(*rand.Rand, NodeID, NodeID) Time { return Time(c) }
+
+// UniformLatency draws delays uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max Time
+}
+
+// Latency implements LatencyModel.
+func (u UniformLatency) Latency(rng *rand.Rand, _, _ NodeID) Time {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + Time(rng.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// Lossy wraps a latency model with an independent per-message drop
+// probability, modelling congestion loss (the effect behind §III-D's
+// failure-detection false positives). Dropped messages are signalled with a
+// negative latency, which the network interprets as "never delivered".
+type Lossy struct {
+	Inner LatencyModel
+	// DropProb in [0,1] is the probability a message is lost in flight.
+	DropProb float64
+}
+
+// Latency implements LatencyModel.
+func (l Lossy) Latency(rng *rand.Rand, from, to NodeID) Time {
+	if l.DropProb > 0 && rng.Float64() < l.DropProb {
+		return Lost
+	}
+	return l.Inner.Latency(rng, from, to)
+}
+
+// Lost is the sentinel latency meaning "drop this message".
+const Lost Time = -1
+
+// Observer is notified of every message delivery attempt. Metrics collectors
+// hook in here.
+type Observer interface {
+	// OnSend fires when a message is handed to the network.
+	OnSend(from, to NodeID, msg Message)
+	// OnDeliver fires when the destination is alive at delivery time.
+	OnDeliver(from, to NodeID, msg Message)
+	// OnDrop fires when the destination is dead at delivery time.
+	OnDrop(from, to NodeID, msg Message)
+}
+
+// Network routes messages between attached nodes with simulated latency.
+// Messages to nodes that are detached when delivery is due are dropped,
+// which is how the simulation models node failure and churn.
+type Network struct {
+	eng     *Engine
+	latency LatencyModel
+	rng     *rand.Rand
+	nodes   map[NodeID]Handler
+	obs     []Observer
+
+	sent      uint64
+	delivered uint64
+	dropped   uint64
+	bytesSent uint64
+}
+
+// NewNetwork creates a network on the given engine with the given latency
+// model.
+func NewNetwork(eng *Engine, latency LatencyModel) *Network {
+	return &Network{
+		eng:     eng,
+		latency: latency,
+		rng:     eng.DeriveRNG('n'),
+		nodes:   make(map[NodeID]Handler),
+	}
+}
+
+// Engine returns the underlying event engine.
+func (n *Network) Engine() *Engine { return n.eng }
+
+// AddObserver registers a delivery observer.
+func (n *Network) AddObserver(o Observer) { n.obs = append(n.obs, o) }
+
+// Attach registers a node handler; the node becomes reachable immediately.
+// Re-attaching an id replaces its handler (a rejoining node).
+func (n *Network) Attach(id NodeID, h Handler) { n.nodes[id] = h }
+
+// Detach removes a node; in-flight messages to it will be dropped.
+func (n *Network) Detach(id NodeID) { delete(n.nodes, id) }
+
+// Alive reports whether id currently has a handler attached.
+func (n *Network) Alive(id NodeID) bool {
+	_, ok := n.nodes[id]
+	return ok
+}
+
+// NumAlive returns the number of attached nodes.
+func (n *Network) NumAlive() int { return len(n.nodes) }
+
+// Send queues msg for delivery from one node to another after a latency
+// drawn from the latency model. Delivery is skipped (counted as a drop) if
+// the destination is detached when the message arrives; senders discover
+// failures through their own heartbeat timeouts, as in the paper.
+func (n *Network) Send(from, to NodeID, msg Message) {
+	n.sent++
+	n.bytesSent += uint64(WireSizeOf(msg))
+	for _, o := range n.obs {
+		o.OnSend(from, to, msg)
+	}
+	d := n.latency.Latency(n.rng, from, to)
+	if d == Lost {
+		n.dropped++
+		for _, o := range n.obs {
+			o.OnDrop(from, to, msg)
+		}
+		return
+	}
+	n.eng.Schedule(d, func() {
+		h, ok := n.nodes[to]
+		if !ok {
+			n.dropped++
+			for _, o := range n.obs {
+				o.OnDrop(from, to, msg)
+			}
+			return
+		}
+		n.delivered++
+		for _, o := range n.obs {
+			o.OnDeliver(from, to, msg)
+		}
+		h.Deliver(from, msg)
+	})
+}
+
+// Stats returns the lifetime (sent, delivered, dropped) message counters.
+func (n *Network) Stats() (sent, delivered, dropped uint64) {
+	return n.sent, n.delivered, n.dropped
+}
+
+// BytesSent returns the estimated total bytes put on the wire.
+func (n *Network) BytesSent() uint64 { return n.bytesSent }

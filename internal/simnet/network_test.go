@@ -1,0 +1,181 @@
+package simnet
+
+import (
+	"testing"
+
+	"vitis/internal/idspace"
+)
+
+type recordingObserver struct {
+	sends, delivers, drops int
+}
+
+func (r *recordingObserver) OnSend(from, to NodeID, msg Message)    { r.sends++ }
+func (r *recordingObserver) OnDeliver(from, to NodeID, msg Message) { r.delivers++ }
+func (r *recordingObserver) OnDrop(from, to NodeID, msg Message)    { r.drops++ }
+
+func TestSendDelivers(t *testing.T) {
+	eng := NewEngine(1)
+	net := NewNetwork(eng, ConstantLatency(50))
+	a, b := idspace.ID(1), idspace.ID(2)
+	var got Message
+	var from NodeID
+	net.Attach(a, HandlerFunc(func(NodeID, Message) {}))
+	net.Attach(b, HandlerFunc(func(f NodeID, m Message) { from, got = f, m }))
+	net.Send(a, b, "hello")
+	eng.RunUntil(49)
+	if got != nil {
+		t.Fatal("delivered before latency elapsed")
+	}
+	eng.RunUntil(50)
+	if got != "hello" || from != a {
+		t.Fatalf("got %v from %v", got, from)
+	}
+}
+
+func TestSendToDetachedNodeDrops(t *testing.T) {
+	eng := NewEngine(1)
+	net := NewNetwork(eng, ConstantLatency(10))
+	obs := &recordingObserver{}
+	net.AddObserver(obs)
+	net.Send(1, 2, "x")
+	eng.RunUntil(100)
+	sent, delivered, dropped := net.Stats()
+	if sent != 1 || delivered != 0 || dropped != 1 {
+		t.Errorf("sent=%d delivered=%d dropped=%d", sent, delivered, dropped)
+	}
+	if obs.sends != 1 || obs.delivers != 0 || obs.drops != 1 {
+		t.Errorf("observer %+v", obs)
+	}
+}
+
+func TestDetachDuringFlightDrops(t *testing.T) {
+	eng := NewEngine(1)
+	net := NewNetwork(eng, ConstantLatency(100))
+	delivered := false
+	net.Attach(2, HandlerFunc(func(NodeID, Message) { delivered = true }))
+	net.Send(1, 2, "x")
+	eng.Schedule(50, func() { net.Detach(2) }) // dies while message in flight
+	eng.RunUntil(200)
+	if delivered {
+		t.Error("message delivered to dead node")
+	}
+	_, _, dropped := net.Stats()
+	if dropped != 1 {
+		t.Errorf("dropped = %d", dropped)
+	}
+}
+
+func TestReattachReceivesNewMessages(t *testing.T) {
+	eng := NewEngine(1)
+	net := NewNetwork(eng, ConstantLatency(1))
+	count := 0
+	net.Attach(2, HandlerFunc(func(NodeID, Message) { count++ }))
+	net.Send(1, 2, "a")
+	eng.RunUntil(10)
+	net.Detach(2)
+	net.Send(1, 2, "b")
+	eng.RunUntil(20)
+	net.Attach(2, HandlerFunc(func(NodeID, Message) { count += 10 }))
+	net.Send(1, 2, "c")
+	eng.RunUntil(30)
+	if count != 11 {
+		t.Errorf("count = %d, want 11 (one before, one after rejoin)", count)
+	}
+}
+
+func TestAliveAndNumAlive(t *testing.T) {
+	eng := NewEngine(1)
+	net := NewNetwork(eng, ConstantLatency(1))
+	if net.Alive(5) {
+		t.Error("node 5 should not be alive")
+	}
+	net.Attach(5, HandlerFunc(func(NodeID, Message) {}))
+	if !net.Alive(5) || net.NumAlive() != 1 {
+		t.Error("node 5 should be alive")
+	}
+	net.Detach(5)
+	if net.Alive(5) || net.NumAlive() != 0 {
+		t.Error("node 5 should be gone")
+	}
+}
+
+func TestUniformLatencyInRange(t *testing.T) {
+	eng := NewEngine(3)
+	lat := UniformLatency{Min: 30, Max: 130}
+	rng := eng.DeriveRNG(1)
+	for i := 0; i < 1000; i++ {
+		d := lat.Latency(rng, 1, 2)
+		if d < 30 || d > 130 {
+			t.Fatalf("latency %d out of [30,130]", d)
+		}
+	}
+}
+
+func TestUniformLatencyDegenerate(t *testing.T) {
+	lat := UniformLatency{Min: 40, Max: 40}
+	if d := lat.Latency(nil, 1, 2); d != 40 {
+		t.Errorf("latency = %d, want 40", d)
+	}
+}
+
+func TestMessagesPreserveCausalOrderPerLink(t *testing.T) {
+	// With constant latency, two messages sent in order on the same link
+	// arrive in order.
+	eng := NewEngine(1)
+	net := NewNetwork(eng, ConstantLatency(10))
+	var got []string
+	net.Attach(2, HandlerFunc(func(_ NodeID, m Message) { got = append(got, m.(string)) }))
+	net.Send(1, 2, "first")
+	net.Send(1, 2, "second")
+	eng.RunUntil(100)
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestLossyDropsApproximately(t *testing.T) {
+	eng := NewEngine(5)
+	net := NewNetwork(eng, Lossy{Inner: ConstantLatency(1), DropProb: 0.5})
+	received := 0
+	net.Attach(2, HandlerFunc(func(NodeID, Message) { received++ }))
+	const total = 2000
+	for i := 0; i < total; i++ {
+		net.Send(1, 2, i)
+	}
+	eng.RunUntil(100)
+	if received < total*2/5 || received > total*3/5 {
+		t.Errorf("received %d of %d at 50%% loss", received, total)
+	}
+	_, _, dropped := net.Stats()
+	if int(dropped)+received != total {
+		t.Errorf("dropped %d + received %d != %d", dropped, received, total)
+	}
+}
+
+func TestLossyZeroProbLossless(t *testing.T) {
+	eng := NewEngine(5)
+	net := NewNetwork(eng, Lossy{Inner: ConstantLatency(1)})
+	received := 0
+	net.Attach(2, HandlerFunc(func(NodeID, Message) { received++ }))
+	for i := 0; i < 100; i++ {
+		net.Send(1, 2, i)
+	}
+	eng.RunUntil(100)
+	if received != 100 {
+		t.Errorf("received %d of 100 with zero loss", received)
+	}
+}
+
+func TestLostMessagesNotifyObservers(t *testing.T) {
+	eng := NewEngine(5)
+	net := NewNetwork(eng, Lossy{Inner: ConstantLatency(1), DropProb: 1})
+	obs := &recordingObserver{}
+	net.AddObserver(obs)
+	net.Attach(2, HandlerFunc(func(NodeID, Message) {}))
+	net.Send(1, 2, "x")
+	eng.RunUntil(100)
+	if obs.drops != 1 || obs.delivers != 0 {
+		t.Errorf("observer %+v", obs)
+	}
+}

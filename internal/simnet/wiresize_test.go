@@ -1,0 +1,28 @@
+package simnet
+
+import "testing"
+
+type sizedMsg struct{ n int }
+
+func (s sizedMsg) WireSize() int { return s.n }
+
+func TestWireSizeOf(t *testing.T) {
+	if got := WireSizeOf(sizedMsg{100}); got != HeaderBytes+100 {
+		t.Errorf("sized = %d", got)
+	}
+	if got := WireSizeOf("unsized"); got != HeaderBytes+8 {
+		t.Errorf("unsized = %d", got)
+	}
+}
+
+func TestNetworkCountsBytes(t *testing.T) {
+	eng := NewEngine(1)
+	net := NewNetwork(eng, ConstantLatency(1))
+	net.Attach(2, HandlerFunc(func(NodeID, Message) {}))
+	net.Send(1, 2, sizedMsg{72})
+	net.Send(1, 2, sizedMsg{28})
+	want := uint64(2*HeaderBytes + 100)
+	if got := net.BytesSent(); got != want {
+		t.Errorf("BytesSent = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf draws integers in [0, n) with probability proportional to
+// (rank+1)^-alpha. It is used for skewed topic publication rates (Fig. 7,
+// where the paper sweeps α from 0.3 to 3) and topic popularity.
+//
+// The stdlib rand.Zipf requires s > 1; the paper's sweep includes α < 1, so
+// this implementation uses inverse-transform sampling over the precomputed
+// cumulative mass, which works for any α >= 0.
+type Zipf struct {
+	cum []float64 // cumulative probabilities, cum[n-1] == 1
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent alpha. alpha == 0
+// degenerates to the uniform distribution. It panics on n < 1 or negative
+// alpha (caller bug).
+func NewZipf(n int, alpha float64) *Zipf {
+	if n < 1 {
+		panic(fmt.Sprintf("stats: NewZipf with n=%d", n))
+	}
+	if alpha < 0 || math.IsNaN(alpha) {
+		panic(fmt.Sprintf("stats: NewZipf with alpha=%g", alpha))
+	}
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -alpha)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1 // guard against rounding
+	return &Zipf{cum: cum}
+}
+
+// Sample draws one rank in [0, n).
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	// Binary search for the first cumulative value >= u.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability mass of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cum) {
+		return 0
+	}
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}
+
+// SamplePareto draws a continuous Pareto-distributed value with the given
+// minimum and shape exponent alpha (p(x) ∝ x^-(alpha+1) for x >= min). Used
+// to synthesise heavy-tailed session and offline durations in the Skype-like
+// churn trace.
+func SamplePareto(rng *rand.Rand, min, alpha float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return min / math.Pow(u, 1/alpha)
+}
+
+// SamplePowerLawDegree draws an integer degree in [min, max] with probability
+// proportional to d^-alpha. Used by the Twitter-like follower-graph
+// generator, where the paper fits α ≈ 1.65 to both in- and out-degree.
+func SamplePowerLawDegree(rng *rand.Rand, min, max int, alpha float64) int {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	// Inverse transform on the continuous approximation, then clamp.
+	// P(X > x) ∝ x^(1-alpha) for alpha > 1.
+	if alpha <= 1 {
+		// Fall back to uniform within range for degenerate exponents.
+		return min + rng.Intn(max-min+1)
+	}
+	a, b := float64(min), float64(max)+1
+	u := rng.Float64()
+	exp := 1 - alpha
+	x := math.Pow(math.Pow(a, exp)+u*(math.Pow(b, exp)-math.Pow(a, exp)), 1/exp)
+	d := int(x)
+	if d < min {
+		d = min
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}

@@ -1,0 +1,211 @@
+// Package stats provides the small statistical toolkit used across the Vitis
+// reproduction: summary statistics, histograms and CDFs for the per-node
+// metric distributions (Figs. 5, 8, 11), power-law samplers for skewed
+// publication rates (Fig. 7) and the Twitter-like degree model (Fig. 8), and
+// a maximum-likelihood power-law exponent estimator used to verify that
+// generated traces match the paper's reported α ≈ 1.65.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	Count  int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	StdDev float64
+	Sum    float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields a zero
+// Summary with Count == 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(xs)))
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of the sample using linear
+// interpolation between closest ranks. The input need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Bins     []int
+	Under    int // samples below Lo
+	Over     int // samples at or above Hi
+	binWidth float64
+}
+
+// NewHistogram creates a histogram with nbins equal-width bins spanning
+// [lo, hi). It panics if the range is empty or nbins < 1, which indicates a
+// programming error at the call site.
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins < 1 || !(hi > lo) {
+		panic(fmt.Sprintf("stats: invalid histogram [%g,%g) with %d bins", lo, hi, nbins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, nbins), binWidth: (hi - lo) / float64(nbins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.binWidth)
+		if i >= len(h.Bins) { // float rounding at the upper edge
+			i = len(h.Bins) - 1
+		}
+		h.Bins[i]++
+	}
+}
+
+// Total returns the number of observations recorded, including out-of-range
+// ones.
+func (h *Histogram) Total() int {
+	n := h.Under + h.Over
+	for _, b := range h.Bins {
+		n += b
+	}
+	return n
+}
+
+// Fractions returns, for each bin, the fraction of all observations that fell
+// into it. Out-of-range observations count toward the denominator.
+func (h *Histogram) Fractions() []float64 {
+	total := h.Total()
+	out := make([]float64, len(h.Bins))
+	if total == 0 {
+		return out
+	}
+	for i, b := range h.Bins {
+		out[i] = float64(b) / float64(total)
+	}
+	return out
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.binWidth
+}
+
+// CDFPoint is one point of an empirical distribution function.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // fraction of samples <= X
+}
+
+// CDF computes the empirical cumulative distribution of the sample.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var out []CDFPoint
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		// Collapse runs of equal values into one point.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		out = append(out, CDFPoint{X: sorted[i], P: float64(i+1) / n})
+	}
+	return out
+}
+
+// DegreeFrequency returns, for each distinct degree value in ds, how many
+// samples have that degree — the raw data behind the log-log frequency plots
+// of Figs. 8 and 11.
+func DegreeFrequency(ds []int) map[int]int {
+	freq := make(map[int]int, len(ds))
+	for _, d := range ds {
+		freq[d]++
+	}
+	return freq
+}
+
+// FitPowerLawExponent estimates the exponent α of a discrete power-law
+// distribution p(x) ∝ x^-α over samples xs >= xmin, using the standard
+// maximum-likelihood estimator (Clauset-Shalizi-Newman continuous
+// approximation α = 1 + n / Σ ln(x_i / (xmin - 0.5))). Samples below xmin are
+// ignored. Returns NaN if fewer than two samples qualify.
+func FitPowerLawExponent(xs []int, xmin int) float64 {
+	if xmin < 1 {
+		xmin = 1
+	}
+	var n int
+	var sum float64
+	shift := float64(xmin) - 0.5
+	for _, x := range xs {
+		if x >= xmin {
+			n++
+			sum += math.Log(float64(x) / shift)
+		}
+	}
+	if n < 2 || sum == 0 {
+		return math.NaN()
+	}
+	return 1 + float64(n)/sum
+}

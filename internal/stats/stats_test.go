@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 {
+		t.Errorf("Count = %d, want 0", s.Count)
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	if s.StdDev != 2 {
+		t.Errorf("StdDev = %g, want 2", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %g/%g", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %g, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeSingleElement(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.Mean != 3.5 || s.Median != 3.5 || s.StdDev != 0 {
+		t.Errorf("got %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("Percentile(50) = %g, want 5", got)
+	}
+}
+
+func TestPercentileUnsortedInputUnchanged(t *testing.T) {
+	xs := []float64{9, 1, 5}
+	Percentile(xs, 50)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("expected NaN for empty sample")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("expected NaN for empty mean")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	h.Add(-1)   // under
+	h.Add(0)    // bin 0
+	h.Add(9.99) // bin 0
+	h.Add(10)   // bin 1
+	h.Add(55)   // bin 5
+	h.Add(99.9) // bin 9
+	h.Add(100)  // over
+	h.Add(150)  // over
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("Under=%d Over=%d", h.Under, h.Over)
+	}
+	want := []int{2, 1, 0, 0, 0, 1, 0, 0, 0, 1}
+	for i, w := range want {
+		if h.Bins[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Bins[i], w)
+		}
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+}
+
+func TestHistogramFractions(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.Add(1)
+	h.Add(2)
+	h.Add(7)
+	h.Add(100) // over: counts in the denominator
+	fr := h.Fractions()
+	if fr[0] != 0.5 || fr[1] != 0.25 {
+		t.Errorf("Fractions = %v", fr)
+	}
+}
+
+func TestHistogramFractionsEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	for _, f := range h.Fractions() {
+		if f != 0 {
+			t.Error("empty histogram should have zero fractions")
+		}
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	if got := h.BinCenter(0); got != 5 {
+		t.Errorf("BinCenter(0) = %g, want 5", got)
+	}
+	if got := h.BinCenter(9); got != 95 {
+		t.Errorf("BinCenter(9) = %g, want 95", got)
+	}
+}
+
+func TestHistogramPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2, 2})
+	// values 1,2,2,3 -> points (1,0.25),(2,0.75),(3,1.0)
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points, want %d: %v", len(pts), len(want), pts)
+	}
+	for i, w := range want {
+		if pts[i] != w {
+			t.Errorf("pts[%d] = %v, want %v", i, pts[i], w)
+		}
+	}
+}
+
+func TestCDFEmptyAndMonotone(t *testing.T) {
+	if CDF(nil) != nil {
+		t.Error("expected nil for empty input")
+	}
+	f := func(raw []float64) bool {
+		for i, v := range raw {
+			if math.IsNaN(v) {
+				raw[i] = 0
+			}
+		}
+		pts := CDF(raw)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X <= pts[i-1].X || pts[i].P <= pts[i-1].P {
+				return false
+			}
+		}
+		return len(raw) == 0 || pts[len(pts)-1].P == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegreeFrequency(t *testing.T) {
+	freq := DegreeFrequency([]int{1, 2, 2, 3, 3, 3})
+	if freq[1] != 1 || freq[2] != 2 || freq[3] != 3 {
+		t.Errorf("freq = %v", freq)
+	}
+}
+
+func TestFitPowerLawExponentRecovers(t *testing.T) {
+	// Generate samples from a known power law and check the MLE recovers it.
+	// The continuous-approximation MLE is only accurate for xmin ≳ 6
+	// (Clauset et al.), so fit the tail above 10.
+	rng := rand.New(rand.NewSource(42))
+	for _, alpha := range []float64{1.65, 2.0, 2.5} {
+		xs := make([]int, 200000)
+		for i := range xs {
+			xs[i] = SamplePowerLawDegree(rng, 1, 1000000, alpha)
+		}
+		got := FitPowerLawExponent(xs, 10)
+		if math.Abs(got-alpha) > 0.1 {
+			t.Errorf("alpha=%g: fitted %g", alpha, got)
+		}
+	}
+}
+
+func TestFitPowerLawExponentDegenerate(t *testing.T) {
+	if !math.IsNaN(FitPowerLawExponent(nil, 1)) {
+		t.Error("expected NaN on empty input")
+	}
+	if !math.IsNaN(FitPowerLawExponent([]int{5}, 1)) {
+		t.Error("expected NaN on single sample")
+	}
+}
+
+func TestZipfUniformWhenAlphaZero(t *testing.T) {
+	z := NewZipf(4, 0)
+	for i := 0; i < 4; i++ {
+		if math.Abs(z.Prob(i)-0.25) > 1e-12 {
+			t.Errorf("Prob(%d) = %g, want 0.25", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfProbsSumToOne(t *testing.T) {
+	for _, alpha := range []float64{0.3, 1, 3} {
+		z := NewZipf(100, alpha)
+		var sum float64
+		for i := 0; i < 100; i++ {
+			sum += z.Prob(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%g: probs sum to %g", alpha, sum)
+		}
+	}
+}
+
+func TestZipfSkewIncreasesWithAlpha(t *testing.T) {
+	lo := NewZipf(100, 0.3)
+	hi := NewZipf(100, 3)
+	if !(hi.Prob(0) > lo.Prob(0)) {
+		t.Errorf("rank-0 mass should grow with alpha: %g vs %g", hi.Prob(0), lo.Prob(0))
+	}
+	if hi.Prob(0) < 0.8 {
+		t.Errorf("alpha=3 should concentrate nearly all mass on rank 0, got %g", hi.Prob(0))
+	}
+}
+
+func TestZipfSampleMatchesProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	z := NewZipf(10, 1.2)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for i := 0; i < 10; i++ {
+		got := float64(counts[i]) / n
+		if math.Abs(got-z.Prob(i)) > 0.01 {
+			t.Errorf("rank %d: empirical %g vs expected %g", i, got, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	z := NewZipf(5, 2)
+	for i := 0; i < 1000; i++ {
+		s := z.Sample(rng)
+		if s < 0 || s >= 5 {
+			t.Fatalf("sample %d out of range", s)
+		}
+	}
+}
+
+func TestSampleParetoRespectsMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if v := SamplePareto(rng, 10, 1.5); v < 10 {
+			t.Fatalf("Pareto sample %g below min", v)
+		}
+	}
+}
+
+func TestSamplePowerLawDegreeRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		d := SamplePowerLawDegree(rng, 2, 50, 1.65)
+		if d < 2 || d > 50 {
+			t.Fatalf("degree %d out of [2,50]", d)
+		}
+	}
+}
+
+func TestSamplePowerLawDegreeHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := make([]int, 50000)
+	for i := range ds {
+		ds[i] = SamplePowerLawDegree(rng, 1, 10000, 1.65)
+	}
+	sort.Ints(ds)
+	// Median should be tiny relative to the max for a heavy tail.
+	median := ds[len(ds)/2]
+	max := ds[len(ds)-1]
+	if median > 5 {
+		t.Errorf("median degree %d too large for alpha=1.65", median)
+	}
+	if max < 100 {
+		t.Errorf("max degree %d lacks a heavy tail", max)
+	}
+}

@@ -1,0 +1,56 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "Demo", Columns: []string{"a", "long-column"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333333", "4")
+	tb.AddNote("note %d", 7)
+	out := tb.String()
+	if !strings.Contains(out, "Demo\n====") {
+		t.Errorf("missing title underline:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, underline, header, separator, 2 rows, note
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[6], "# note 7") {
+		t.Errorf("note line = %q", lines[6])
+	}
+	// Columns align: both rows should place the second column at the same
+	// offset.
+	if strings.Index(lines[4], "2") != strings.Index(lines[5], "4") {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := &Table{Columns: []string{"x"}}
+	tb.AddRow("1")
+	if strings.Contains(tb.String(), "=") {
+		t.Error("untitled table should have no title underline")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Errorf("F = %q", F(3.14159, 2))
+	}
+	if Pct(0.423) != "42.3%" {
+		t.Errorf("Pct = %q", Pct(0.423))
+	}
+}
+
+func TestRowWiderThanColumns(t *testing.T) {
+	tb := &Table{Columns: []string{"only"}}
+	tb.AddRow("a", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+}

@@ -1,0 +1,257 @@
+// Package tman implements the generic T-Man topology-construction protocol
+// (Jelasity & Babaoglu) that both Vitis and the baselines use to build their
+// routing tables — Algorithms 2 and 3 of the paper.
+//
+// The exchanger owns the node's routing table as a list of descriptors and
+// periodically swaps candidate buffers with a random current neighbor; the
+// embedding protocol supplies the ranking logic through its SelectNeighbors
+// function (Algorithm 4 for Vitis, subscription-oblivious small-world
+// selection for RVR, pure utility-greedy selection for OPT).
+package tman
+
+import (
+	"math/rand"
+
+	"vitis/internal/simnet"
+)
+
+// Descriptor is a routing-table or candidate-buffer entry: a node id plus a
+// protocol-specific payload (for Vitis, the node's subscription summary).
+type Descriptor struct {
+	ID      simnet.NodeID
+	Payload any
+}
+
+// Callbacks supplies the protocol-specific pieces of the exchange.
+type Callbacks struct {
+	// SelfDescriptor returns the node's own current descriptor, included
+	// in every outgoing buffer.
+	SelfDescriptor func() Descriptor
+	// SampleNodes returns fresh descriptors from the peer sampling layer
+	// (payload may be nil for nodes whose profile is unknown yet).
+	SampleNodes func() []Descriptor
+	// SelectNeighbors reduces a deduplicated candidate buffer (never
+	// containing self) to the new routing table.
+	SelectNeighbors func(buffer []Descriptor) []Descriptor
+	// SamplePeerProb is the probability of gossiping with a freshly
+	// sampled peer instead of a routing-table neighbor. Zero keeps the
+	// paper's T-Man behaviour (always a current neighbor); protocols whose
+	// tables can close into cliques (OPT) set it positive so membership
+	// knowledge keeps crossing cluster boundaries.
+	SamplePeerProb float64
+}
+
+// Exchange messages.
+type (
+	// Request carries the initiator's candidate buffer.
+	Request struct{ Buffer []Descriptor }
+	// Reply carries the responder's candidate buffer.
+	Reply struct{ Buffer []Descriptor }
+)
+
+// Exchanger runs the periodic view exchange for one node.
+type Exchanger struct {
+	net     *simnet.Network
+	self    simnet.NodeID
+	period  simnet.Time
+	rng     *rand.Rand
+	cb      Callbacks
+	rt      []Descriptor
+	stopped bool
+}
+
+// New creates an exchanger. The routing table starts from bootstrap (self
+// excluded, deduplicated).
+func New(net *simnet.Network, self simnet.NodeID, period simnet.Time, cb Callbacks, bootstrap []Descriptor, rng *rand.Rand) *Exchanger {
+	if period <= 0 {
+		period = simnet.Second
+	}
+	x := &Exchanger{net: net, self: self, period: period, cb: cb, rng: rng}
+	x.rt = dedup(self, bootstrap)
+	return x
+}
+
+// Start begins periodic exchanges until Stop.
+func (x *Exchanger) Start() {
+	x.net.Engine().Every(x.period, func() bool {
+		if x.stopped {
+			return false
+		}
+		x.tick()
+		return true
+	})
+}
+
+// Stop halts the exchanger permanently.
+func (x *Exchanger) Stop() { x.stopped = true }
+
+// tick is the active thread of Algorithm 2: pick a random neighbor, send it
+// our merged buffer; the routing table is refreshed when the reply arrives.
+func (x *Exchanger) tick() {
+	var peer simnet.NodeID
+	fromSamples := x.cb.SamplePeerProb > 0 && x.cb.SampleNodes != nil &&
+		x.rng.Float64() < x.cb.SamplePeerProb
+	if fromSamples {
+		if samples := x.cb.SampleNodes(); len(samples) > 0 {
+			x.net.Send(x.self, samples[x.rng.Intn(len(samples))].ID, Request{Buffer: x.buildBuffer(nil)})
+			return
+		}
+	}
+	if len(x.rt) > 0 {
+		peer = x.rt[x.rng.Intn(len(x.rt))].ID
+	} else if x.cb.SampleNodes != nil {
+		// Empty table: gossip with a sampled peer so an isolated node
+		// can still re-enter the overlay.
+		samples := x.cb.SampleNodes()
+		if len(samples) == 0 {
+			return
+		}
+		peer = samples[x.rng.Intn(len(samples))].ID
+	} else {
+		return
+	}
+	x.net.Send(x.self, peer, Request{Buffer: x.buildBuffer(nil)})
+}
+
+// buildBuffer merges extra, the routing table and fresh samples, dedups by
+// id keeping the first occurrence, and excludes self (Algorithm 2 lines
+// 3–4). Entries earlier in the argument win dedup ties, so callers put the
+// freshest information first.
+func (x *Exchanger) buildBuffer(extra []Descriptor) []Descriptor {
+	merged := make([]Descriptor, 0, len(extra)+len(x.rt)+8)
+	merged = append(merged, extra...)
+	merged = append(merged, x.rt...)
+	if x.cb.SampleNodes != nil {
+		merged = append(merged, x.cb.SampleNodes()...)
+	}
+	// Self goes in front so the receiver sees our freshest payload even if
+	// a stale descriptor of us floats in its buffer.
+	return append([]Descriptor{x.cb.SelfDescriptor()}, dedup(x.self, merged)...)
+}
+
+func (x *Exchanger) applySelect(incoming []Descriptor) {
+	buffer := make([]Descriptor, 0, len(incoming)+len(x.rt)+8)
+	buffer = append(buffer, incoming...)
+	buffer = append(buffer, x.rt...)
+	if x.cb.SampleNodes != nil {
+		buffer = append(buffer, x.cb.SampleNodes()...)
+	}
+	buffer = dedup(x.self, buffer)
+	x.rt = dedup(x.self, x.cb.SelectNeighbors(buffer))
+}
+
+// HandleMessage consumes T-Man messages; it reports false for others.
+func (x *Exchanger) HandleMessage(from simnet.NodeID, msg simnet.Message) bool {
+	switch m := msg.(type) {
+	case Request:
+		if !x.stopped {
+			// Passive thread (Algorithm 3): reply with our buffer,
+			// then refresh our own table from the incoming one.
+			x.net.Send(x.self, from, Reply{Buffer: x.buildBuffer(nil)})
+			x.applySelect(m.Buffer)
+		}
+		return true
+	case Reply:
+		if !x.stopped {
+			x.applySelect(m.Buffer)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// RT returns a copy of the current routing table.
+func (x *Exchanger) RT() []Descriptor {
+	return append([]Descriptor(nil), x.rt...)
+}
+
+// Contains reports whether id is currently in the routing table.
+func (x *Exchanger) Contains(id simnet.NodeID) bool {
+	for _, d := range x.rt {
+		if d.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove deletes id from the routing table (failure detection by the
+// embedding protocol). It reports whether the entry existed.
+func (x *Exchanger) Remove(id simnet.NodeID) bool {
+	for i, d := range x.rt {
+		if d.ID == id {
+			x.rt = append(x.rt[:i], x.rt[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// UpdatePayload refreshes the payload stored for id if present (profiles
+// arriving through the heartbeat protocol).
+func (x *Exchanger) UpdatePayload(id simnet.NodeID, payload any) {
+	for i := range x.rt {
+		if x.rt[i].ID == id {
+			x.rt[i].Payload = payload
+			return
+		}
+	}
+}
+
+// ForceSelect re-runs neighbor selection immediately over the current table
+// and samples. Used right after bootstrap so a joining node does not wait a
+// full period for its first table.
+func (x *Exchanger) ForceSelect() { x.applySelect(nil) }
+
+func dedup(self simnet.NodeID, ds []Descriptor) []Descriptor {
+	seen := make(map[simnet.NodeID]bool, len(ds))
+	out := make([]Descriptor, 0, len(ds))
+	for _, d := range ds {
+		if d.ID == self || seen[d.ID] {
+			continue
+		}
+		seen[d.ID] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// descriptorWireSize estimates one descriptor's bytes: the id plus the
+// payload when it is a subscription list (the only payload the protocols
+// use).
+func descriptorWireSize(d Descriptor) int {
+	size := 8
+	switch p := d.Payload.(type) {
+	case nil:
+	case interface{ WireSize() int }:
+		size += p.WireSize()
+	default:
+		// Subscription summaries are slices of 8-byte ids; reflectionless
+		// estimate for the common case.
+		if ids, ok := p.([]simnet.NodeID); ok {
+			size += 8 * len(ids)
+		} else {
+			size += 16
+		}
+	}
+	return size
+}
+
+// WireSize implements simnet.Sized.
+func (m Request) WireSize() int {
+	var total int
+	for _, d := range m.Buffer {
+		total += descriptorWireSize(d)
+	}
+	return total
+}
+
+// WireSize implements simnet.Sized.
+func (m Reply) WireSize() int {
+	var total int
+	for _, d := range m.Buffer {
+		total += descriptorWireSize(d)
+	}
+	return total
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vitis/internal/simnet"
+	"vitis/internal/stats"
+)
+
+// ChurnConfig parameterises the Skype-like availability trace generator
+// standing in for the Guha et al. superpeer measurement the paper replays in
+// §IV-F (4000 nodes observed for a month). Nodes alternate heavy-tailed
+// online sessions and offline gaps; a configurable flash crowd injects a
+// burst of simultaneous first joins, the regime where Fig. 12 shows RVR's
+// hit ratio dipping to ~87%.
+type ChurnConfig struct {
+	Nodes    int
+	Duration simnet.Time
+	// MeanSession and MeanOffline set the scale of the Pareto-distributed
+	// online/offline periods.
+	MeanSession simnet.Time
+	MeanOffline simnet.Time
+	// ParetoShape > 1 controls the tail heaviness (smaller = heavier).
+	ParetoShape float64
+	// RampWindow spreads initial arrivals over [0, RampWindow).
+	RampWindow simnet.Time
+	// FlashCrowdAt, if positive, makes FlashCrowdFrac of the nodes perform
+	// their first join within FlashCrowdWindow of that instant.
+	FlashCrowdAt     simnet.Time
+	FlashCrowdFrac   float64
+	FlashCrowdWindow simnet.Time
+	Seed             int64
+}
+
+func (c *ChurnConfig) setDefaults() {
+	if c.Duration == 0 {
+		c.Duration = 1400 * simnet.Hour // the paper's x-axis spans ~1400 hours
+	}
+	if c.MeanSession == 0 {
+		c.MeanSession = 12 * simnet.Hour
+	}
+	if c.MeanOffline == 0 {
+		c.MeanOffline = 6 * simnet.Hour
+	}
+	if c.ParetoShape == 0 {
+		c.ParetoShape = 1.5
+	}
+	if c.RampWindow == 0 {
+		c.RampWindow = c.Duration / 4
+	}
+	if c.FlashCrowdWindow == 0 {
+		c.FlashCrowdWindow = 2 * simnet.Hour
+	}
+}
+
+// GenerateChurn builds an availability trace over node indices 0..Nodes-1.
+// The node index is stored in the session's Node field as a NodeID-typed
+// integer; use RemapTrace to translate indices to identifier-space ids.
+func GenerateChurn(cfg ChurnConfig) (simnet.Trace, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("workload: churn config needs positive Nodes, got %d", cfg.Nodes)
+	}
+	cfg.setDefaults()
+	if cfg.FlashCrowdFrac < 0 || cfg.FlashCrowdFrac > 1 {
+		return nil, fmt.Errorf("workload: FlashCrowdFrac %g out of [0,1]", cfg.FlashCrowdFrac)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Pareto with shape a and minimum m has mean m*a/(a-1); solve for the
+	// minimum that yields the requested mean.
+	minFor := func(mean simnet.Time) float64 {
+		return float64(mean) * (cfg.ParetoShape - 1) / cfg.ParetoShape
+	}
+	sessionMin := minFor(cfg.MeanSession)
+	offlineMin := minFor(cfg.MeanOffline)
+
+	flashCount := int(cfg.FlashCrowdFrac * float64(cfg.Nodes))
+
+	var trace simnet.Trace
+	for i := 0; i < cfg.Nodes; i++ {
+		var first simnet.Time
+		if i < flashCount && cfg.FlashCrowdAt > 0 {
+			first = cfg.FlashCrowdAt + simnet.Time(rng.Int63n(int64(cfg.FlashCrowdWindow)))
+		} else {
+			first = simnet.Time(rng.Int63n(int64(cfg.RampWindow)))
+		}
+		t := first
+		for t < cfg.Duration {
+			on := simnet.Time(stats.SamplePareto(rng, sessionMin, cfg.ParetoShape))
+			if on < simnet.Second {
+				on = simnet.Second
+			}
+			leave := t + on
+			if leave >= cfg.Duration {
+				trace = append(trace, simnet.Session{Node: simnet.NodeID(i), Join: t, Leave: simnet.NoLeave})
+				break
+			}
+			trace = append(trace, simnet.Session{Node: simnet.NodeID(i), Join: t, Leave: leave})
+			off := simnet.Time(stats.SamplePareto(rng, offlineMin, cfg.ParetoShape))
+			if off < simnet.Second {
+				off = simnet.Second
+			}
+			t = leave + off
+		}
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid churn trace: %w", err)
+	}
+	return trace, nil
+}
+
+// RemapTrace rewrites the Node field of every session through the given
+// mapping (typically node index → hashed identifier-space id).
+func RemapTrace(tr simnet.Trace, mapID func(idx int) simnet.NodeID) simnet.Trace {
+	out := make(simnet.Trace, len(tr))
+	for i, s := range tr {
+		s.Node = mapID(int(s.Node))
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"testing"
+
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+)
+
+func TestGenerateChurnValidTrace(t *testing.T) {
+	tr, err := GenerateChurn(ChurnConfig{Nodes: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	if len(tr) < 200 {
+		t.Fatalf("only %d sessions for 200 nodes", len(tr))
+	}
+}
+
+func TestGenerateChurnNodesRejoin(t *testing.T) {
+	tr, err := GenerateChurn(ChurnConfig{
+		Nodes:       100,
+		Duration:    1000 * simnet.Hour,
+		MeanSession: 5 * simnet.Hour,
+		MeanOffline: 2 * simnet.Hour,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := map[simnet.NodeID]int{}
+	for _, s := range tr {
+		perNode[s.Node]++
+	}
+	multi := 0
+	for _, c := range perNode {
+		if c > 1 {
+			multi++
+		}
+	}
+	if multi < 50 {
+		t.Errorf("only %d of 100 nodes ever rejoin; churn too tame", multi)
+	}
+}
+
+func TestGenerateChurnFlashCrowd(t *testing.T) {
+	cfg := ChurnConfig{
+		Nodes:          400,
+		Duration:       200 * simnet.Hour,
+		RampWindow:     100 * simnet.Hour,
+		FlashCrowdAt:   150 * simnet.Hour,
+		FlashCrowdFrac: 0.5,
+		Seed:           3,
+	}
+	tr, err := GenerateChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count first joins inside the flash-crowd window.
+	firstJoin := map[simnet.NodeID]simnet.Time{}
+	for _, s := range tr {
+		if cur, ok := firstJoin[s.Node]; !ok || s.Join < cur {
+			firstJoin[s.Node] = s.Join
+		}
+	}
+	inWindow := 0
+	for _, j := range firstJoin {
+		if j >= cfg.FlashCrowdAt && j < cfg.FlashCrowdAt+2*simnet.Hour {
+			inWindow++
+		}
+	}
+	if inWindow < 150 {
+		t.Errorf("only %d first joins in the flash-crowd window, want ~200", inWindow)
+	}
+}
+
+func TestGenerateChurnNetworkGrows(t *testing.T) {
+	tr, err := GenerateChurn(ChurnConfig{Nodes: 300, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := tr.SizeSeries(50 * simnet.Hour)
+	var peak int
+	for _, s := range sizes {
+		if s > peak {
+			peak = s
+		}
+	}
+	if peak < 100 {
+		t.Errorf("network never grows beyond %d of 300 nodes", peak)
+	}
+}
+
+func TestGenerateChurnErrors(t *testing.T) {
+	if _, err := GenerateChurn(ChurnConfig{Nodes: 0}); err == nil {
+		t.Error("expected error for zero nodes")
+	}
+	if _, err := GenerateChurn(ChurnConfig{Nodes: 10, FlashCrowdFrac: 1.5}); err == nil {
+		t.Error("expected error for bad flash-crowd fraction")
+	}
+}
+
+func TestGenerateChurnDeterministic(t *testing.T) {
+	cfg := ChurnConfig{Nodes: 50, Seed: 5}
+	a, _ := GenerateChurn(cfg)
+	b, _ := GenerateChurn(cfg)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic session count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic sessions")
+		}
+	}
+}
+
+func TestRemapTrace(t *testing.T) {
+	tr := simnet.Trace{
+		{Node: 0, Join: 0, Leave: 10},
+		{Node: 1, Join: 5, Leave: 15},
+	}
+	mapped := RemapTrace(tr, func(idx int) simnet.NodeID { return idspace.HashUint64(uint64(idx)) })
+	if mapped[0].Node != idspace.HashUint64(0) || mapped[1].Node != idspace.HashUint64(1) {
+		t.Error("remap did not apply mapping")
+	}
+	if mapped[0].Join != 0 || mapped[0].Leave != 10 {
+		t.Error("remap clobbered times")
+	}
+	if tr[0].Node != 0 {
+		t.Error("remap mutated input")
+	}
+}

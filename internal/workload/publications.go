@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vitis/internal/simnet"
+	"vitis/internal/stats"
+)
+
+// Publication is one event to publish during a run.
+type Publication struct {
+	Topic     int // topic index
+	Publisher int // node index; a subscriber of Topic when one exists
+	At        simnet.Time
+}
+
+// TopicRates returns a normalised publication-rate vector over topics drawn
+// from a power law with exponent alpha over a random rank assignment:
+// rate(topic) ∝ rank(topic)^-alpha. alpha == 0 gives uniform rates. This is
+// the rate(t) input of the paper's Eq. 1 and the Fig. 7 sweep.
+func TopicRates(rng *rand.Rand, topics int, alpha float64) []float64 {
+	if topics <= 0 {
+		panic(fmt.Sprintf("workload: TopicRates with %d topics", topics))
+	}
+	z := stats.NewZipf(topics, alpha)
+	rates := make([]float64, topics)
+	// Assign ranks to topics randomly so hot topics are not always the
+	// low-numbered ones (topic ids hash uniformly anyway).
+	perm := rng.Perm(topics)
+	for rank, topic := range perm {
+		rates[topic] = z.Prob(rank)
+	}
+	return rates
+}
+
+// UniformRates returns the uniform rate vector (every topic equally hot).
+func UniformRates(topics int) []float64 {
+	rates := make([]float64, topics)
+	for i := range rates {
+		rates[i] = 1 / float64(topics)
+	}
+	return rates
+}
+
+// PublicationConfig describes a publication schedule.
+type PublicationConfig struct {
+	Events int            // total number of events to publish
+	Start  simnet.Time    // first possible publish instant
+	Window simnet.Time    // events are spread uniformly over [Start, Start+Window)
+	Rates  []float64      // per-topic publication rates (need not be normalised)
+	Subs   *Subscriptions // used to pick publishers among subscribers
+	Seed   int64
+}
+
+// GeneratePublications draws a schedule of events. Topics are chosen with
+// probability proportional to Rates; the publisher of each event is a random
+// subscriber of the topic (the paper's publishers notify their own cluster
+// first), or a random node if the topic has no subscribers. The returned
+// slice is sorted by time.
+func GeneratePublications(cfg PublicationConfig) ([]Publication, error) {
+	if cfg.Subs == nil {
+		return nil, fmt.Errorf("workload: publication config needs Subs")
+	}
+	if len(cfg.Rates) != cfg.Subs.Topics {
+		return nil, fmt.Errorf("workload: %d rates for %d topics", len(cfg.Rates), cfg.Subs.Topics)
+	}
+	if cfg.Events < 0 || cfg.Window <= 0 {
+		return nil, fmt.Errorf("workload: invalid events=%d window=%d", cfg.Events, cfg.Window)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Cumulative rate table for topic sampling.
+	cum := make([]float64, len(cfg.Rates))
+	var total float64
+	for i, r := range cfg.Rates {
+		if r < 0 {
+			return nil, fmt.Errorf("workload: negative rate for topic %d", i)
+		}
+		total += r
+		cum[i] = total
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("workload: all topic rates are zero")
+	}
+
+	subsOf := cfg.Subs.SubscribersOf()
+	pubs := make([]Publication, 0, cfg.Events)
+	for i := 0; i < cfg.Events; i++ {
+		topic := sampleCumulative(rng, cum, total)
+		var publisher int
+		if subscribers := subsOf[topic]; len(subscribers) > 0 {
+			publisher = subscribers[rng.Intn(len(subscribers))]
+		} else {
+			publisher = rng.Intn(cfg.Subs.Nodes)
+		}
+		at := cfg.Start + simnet.Time(rng.Int63n(int64(cfg.Window)))
+		pubs = append(pubs, Publication{Topic: topic, Publisher: publisher, At: at})
+	}
+	// Sort by time (insertion into the event queue is order-insensitive,
+	// but deterministic output makes traces and tests easier to reason
+	// about).
+	sort.Slice(pubs, func(i, j int) bool {
+		a, b := pubs[i], pubs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Topic != b.Topic {
+			return a.Topic < b.Topic
+		}
+		return a.Publisher < b.Publisher
+	})
+	return pubs, nil
+}
+
+func sampleCumulative(rng *rand.Rand, cum []float64, total float64) int {
+	u := rng.Float64() * total
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

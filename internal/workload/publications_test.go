@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vitis/internal/simnet"
+)
+
+func testSubs(t *testing.T) *Subscriptions {
+	t.Helper()
+	subs, err := Generate(SyntheticConfig{Nodes: 60, Topics: 100, SubsPerNode: 10, Pattern: Random, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return subs
+}
+
+func TestTopicRatesNormalised(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, alpha := range []float64{0, 0.3, 1, 3} {
+		rates := TopicRates(rng, 200, alpha)
+		var sum float64
+		for _, r := range rates {
+			sum += r
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%g: rates sum to %g", alpha, sum)
+		}
+	}
+}
+
+func TestTopicRatesSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	flat := TopicRates(rng, 100, 0)
+	skewed := TopicRates(rng, 100, 3)
+	maxFlat, maxSkew := 0.0, 0.0
+	for i := range flat {
+		if flat[i] > maxFlat {
+			maxFlat = flat[i]
+		}
+		if skewed[i] > maxSkew {
+			maxSkew = skewed[i]
+		}
+	}
+	if maxSkew < 0.5 {
+		t.Errorf("alpha=3 should concentrate mass on one topic, max=%g", maxSkew)
+	}
+	if maxFlat > 0.02 {
+		t.Errorf("alpha=0 should be uniform, max=%g", maxFlat)
+	}
+}
+
+func TestUniformRates(t *testing.T) {
+	rates := UniformRates(4)
+	for _, r := range rates {
+		if r != 0.25 {
+			t.Errorf("rates = %v", rates)
+		}
+	}
+}
+
+func TestGeneratePublicationsBasics(t *testing.T) {
+	subs := testSubs(t)
+	pubs, err := GeneratePublications(PublicationConfig{
+		Events: 500,
+		Start:  1000,
+		Window: 10000,
+		Rates:  UniformRates(subs.Topics),
+		Subs:   subs,
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pubs) != 500 {
+		t.Fatalf("got %d publications", len(pubs))
+	}
+	subsOf := subs.SubscribersOf()
+	var last simnet.Time
+	for _, p := range pubs {
+		if p.At < 1000 || p.At >= 11000 {
+			t.Fatalf("publication at %d outside window", p.At)
+		}
+		if p.At < last {
+			t.Fatal("publications not sorted by time")
+		}
+		last = p.At
+		if p.Topic < 0 || p.Topic >= subs.Topics {
+			t.Fatalf("topic %d out of range", p.Topic)
+		}
+		if len(subsOf[p.Topic]) > 0 {
+			found := false
+			for _, n := range subsOf[p.Topic] {
+				if n == p.Publisher {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("publisher %d does not subscribe to topic %d", p.Publisher, p.Topic)
+			}
+		}
+	}
+}
+
+func TestGeneratePublicationsRespectsRates(t *testing.T) {
+	subs := testSubs(t)
+	rates := make([]float64, subs.Topics)
+	rates[7] = 1 // only topic 7 ever publishes
+	pubs, err := GeneratePublications(PublicationConfig{
+		Events: 100, Window: 1000, Rates: rates, Subs: subs, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pubs {
+		if p.Topic != 7 {
+			t.Fatalf("topic %d published despite zero rate", p.Topic)
+		}
+	}
+}
+
+func TestGeneratePublicationsSkewFollowsAlpha(t *testing.T) {
+	subs := testSubs(t)
+	rng := rand.New(rand.NewSource(5))
+	rates := TopicRates(rng, subs.Topics, 3)
+	pubs, err := GeneratePublications(PublicationConfig{
+		Events: 2000, Window: 1000, Rates: rates, Subs: subs, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, p := range pubs {
+		counts[p.Topic]++
+	}
+	var max int
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 0.5*2000 {
+		t.Errorf("alpha=3: hottest topic got %d of 2000 events", max)
+	}
+}
+
+func TestGeneratePublicationsErrors(t *testing.T) {
+	subs := testSubs(t)
+	cases := []PublicationConfig{
+		{Events: 10, Window: 100, Rates: UniformRates(subs.Topics)},                // nil subs
+		{Events: 10, Window: 100, Rates: UniformRates(5), Subs: subs},              // rate len mismatch
+		{Events: 10, Window: 0, Rates: UniformRates(subs.Topics), Subs: subs},      // bad window
+		{Events: 10, Window: 100, Rates: make([]float64, subs.Topics), Subs: subs}, // all zero
+	}
+	for i, cfg := range cases {
+		if _, err := GeneratePublications(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	bad := UniformRates(subs.Topics)
+	bad[0] = -1
+	if _, err := GeneratePublications(PublicationConfig{Events: 1, Window: 10, Rates: bad, Subs: subs}); err == nil {
+		t.Error("expected error for negative rate")
+	}
+}
+
+func TestGeneratePublicationsDeterministic(t *testing.T) {
+	subs := testSubs(t)
+	cfg := PublicationConfig{Events: 50, Window: 500, Rates: UniformRates(subs.Topics), Subs: subs, Seed: 9}
+	a, _ := GeneratePublications(cfg)
+	b, _ := GeneratePublications(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic publications")
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package workload generates the inputs of the paper's experiments:
+// subscription patterns with controlled interest correlation (§IV-A, after
+// Wong et al.), publication schedules with uniform or power-law topic rates
+// (§IV-D), a Twitter-like follower graph matching the trace statistics the
+// paper reports (§IV-E, Figs. 8–9), and a Skype-like availability trace for
+// the churn experiment (§IV-F, Fig. 12).
+//
+// Everything is index-based: nodes are 0..N-1 and topics 0..T-1; the
+// simulation harness maps indices to identifier-space ids.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Subscriptions records, for each node, the set of topic indices it
+// subscribes to.
+type Subscriptions struct {
+	Nodes  int
+	Topics int
+	Subs   [][]int // Subs[node] = sorted topic indices
+}
+
+// SubscribersOf returns, for every topic, the list of subscriber node
+// indices.
+func (s *Subscriptions) SubscribersOf() [][]int {
+	out := make([][]int, s.Topics)
+	for node, topics := range s.Subs {
+		for _, t := range topics {
+			out[t] = append(out[t], node)
+		}
+	}
+	return out
+}
+
+// AvgSubsPerNode returns the mean number of subscriptions per node.
+func (s *Subscriptions) AvgSubsPerNode() float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	var total int
+	for _, ts := range s.Subs {
+		total += len(ts)
+	}
+	return float64(total) / float64(s.Nodes)
+}
+
+// Pattern selects one of the paper's three synthetic subscription models.
+type Pattern int
+
+// The synthetic subscription patterns of §IV-A.
+const (
+	// Random: nodes select SubsPerNode topics uniformly at random.
+	Random Pattern = iota
+	// LowCorrelation: topics are grouped into Buckets buckets; each node
+	// picks 5 buckets and 10 topics from each.
+	LowCorrelation
+	// HighCorrelation: each node picks 2 buckets and 25 topics from each.
+	HighCorrelation
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Random:
+		return "random"
+	case LowCorrelation:
+		return "low-correlation"
+	case HighCorrelation:
+		return "high-correlation"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// SyntheticConfig parameterises the synthetic generators. The zero values of
+// the optional fields are replaced by the paper's defaults: 5000 topics, 50
+// subscriptions per node, 100 buckets.
+type SyntheticConfig struct {
+	Nodes       int
+	Topics      int // default 5000
+	SubsPerNode int // default 50
+	Buckets     int // default 100
+	Pattern     Pattern
+	Seed        int64
+}
+
+func (c *SyntheticConfig) setDefaults() {
+	if c.Topics == 0 {
+		c.Topics = 5000
+	}
+	if c.SubsPerNode == 0 {
+		c.SubsPerNode = 50
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 100
+	}
+}
+
+// bucketsPerNode returns how many buckets a node draws from under the given
+// pattern, preserving the paper's 5-of-100 / 2-of-100 split.
+func (c *SyntheticConfig) bucketsPerNode() int {
+	switch c.Pattern {
+	case LowCorrelation:
+		return 5
+	case HighCorrelation:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Generate produces a subscription assignment under the configured pattern.
+// It returns an error for inconsistent configurations (for example more
+// subscriptions than topics available in the chosen buckets).
+func Generate(cfg SyntheticConfig) (*Subscriptions, error) {
+	cfg.setDefaults()
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("workload: Nodes must be positive, got %d", cfg.Nodes)
+	}
+	if cfg.SubsPerNode > cfg.Topics {
+		return nil, fmt.Errorf("workload: %d subscriptions from only %d topics", cfg.SubsPerNode, cfg.Topics)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	subs := &Subscriptions{Nodes: cfg.Nodes, Topics: cfg.Topics, Subs: make([][]int, cfg.Nodes)}
+
+	if cfg.Pattern == Random {
+		for i := 0; i < cfg.Nodes; i++ {
+			subs.Subs[i] = sampleWithoutReplacement(rng, cfg.Topics, cfg.SubsPerNode)
+		}
+		return subs, nil
+	}
+
+	bpn := cfg.bucketsPerNode()
+	if cfg.Buckets < bpn {
+		return nil, fmt.Errorf("workload: %d buckets but %d buckets per node", cfg.Buckets, bpn)
+	}
+	if cfg.Topics%cfg.Buckets != 0 {
+		return nil, fmt.Errorf("workload: %d topics not divisible into %d buckets", cfg.Topics, cfg.Buckets)
+	}
+	bucketSize := cfg.Topics / cfg.Buckets
+	perBucket := cfg.SubsPerNode / bpn
+	if perBucket*bpn != cfg.SubsPerNode {
+		return nil, fmt.Errorf("workload: %d subscriptions not divisible across %d buckets", cfg.SubsPerNode, bpn)
+	}
+	if perBucket > bucketSize {
+		return nil, fmt.Errorf("workload: need %d topics per bucket but buckets hold %d", perBucket, bucketSize)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		buckets := sampleWithoutReplacement(rng, cfg.Buckets, bpn)
+		var topics []int
+		for _, b := range buckets {
+			for _, off := range sampleWithoutReplacement(rng, bucketSize, perBucket) {
+				topics = append(topics, b*bucketSize+off)
+			}
+		}
+		subs.Subs[i] = topics
+	}
+	return subs, nil
+}
+
+// sampleWithoutReplacement draws k distinct integers from [0, n) in random
+// order.
+func sampleWithoutReplacement(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		panic(fmt.Sprintf("workload: sample %d from %d", k, n))
+	}
+	// Partial Fisher-Yates over an index map keeps this O(k) in memory
+	// churn for small k relative to n.
+	perm := rng.Perm(n)
+	out := make([]int, k)
+	copy(out, perm[:k])
+	return out
+}
+
+// InterestOverlap computes the Jaccard-style overlap |A∩B| / |A∪B| between
+// two nodes' subscription sets — the uniform-rate special case of the
+// paper's Eq. 1 utility. Exported for tests and analysis.
+func InterestOverlap(a, b []int) float64 {
+	set := make(map[int]bool, len(a))
+	for _, t := range a {
+		set[t] = true
+	}
+	var inter int
+	for _, t := range b {
+		if set[t] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// MeanPairwiseOverlap estimates the average pairwise interest overlap over
+// sampled node pairs; the three patterns must rank Random < LowCorrelation <
+// HighCorrelation on this measure.
+func (s *Subscriptions) MeanPairwiseOverlap(rng *rand.Rand, pairs int) float64 {
+	if s.Nodes < 2 || pairs <= 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < pairs; i++ {
+		a := rng.Intn(s.Nodes)
+		b := rng.Intn(s.Nodes)
+		for b == a {
+			b = rng.Intn(s.Nodes)
+		}
+		sum += InterestOverlap(s.Subs[a], s.Subs[b])
+	}
+	return sum / float64(pairs)
+}

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateRandomPattern(t *testing.T) {
+	subs, err := Generate(SyntheticConfig{Nodes: 100, Pattern: Random, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subs.Nodes != 100 || subs.Topics != 5000 {
+		t.Errorf("Nodes=%d Topics=%d", subs.Nodes, subs.Topics)
+	}
+	for i, ts := range subs.Subs {
+		if len(ts) != 50 {
+			t.Fatalf("node %d has %d subs, want 50", i, len(ts))
+		}
+		seen := map[int]bool{}
+		for _, tp := range ts {
+			if tp < 0 || tp >= 5000 {
+				t.Fatalf("topic %d out of range", tp)
+			}
+			if seen[tp] {
+				t.Fatalf("node %d subscribed twice to topic %d", i, tp)
+			}
+			seen[tp] = true
+		}
+	}
+}
+
+func TestGenerateCorrelatedBucketStructure(t *testing.T) {
+	for _, pat := range []Pattern{LowCorrelation, HighCorrelation} {
+		subs, err := Generate(SyntheticConfig{Nodes: 50, Pattern: pat, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBuckets := 5
+		if pat == HighCorrelation {
+			wantBuckets = 2
+		}
+		bucketSize := 5000 / 100
+		for i, ts := range subs.Subs {
+			if len(ts) != 50 {
+				t.Fatalf("%v: node %d has %d subs", pat, i, len(ts))
+			}
+			buckets := map[int]int{}
+			for _, tp := range ts {
+				buckets[tp/bucketSize]++
+			}
+			if len(buckets) != wantBuckets {
+				t.Fatalf("%v: node %d drew from %d buckets, want %d", pat, i, len(buckets), wantBuckets)
+			}
+			for b, c := range buckets {
+				if c != 50/wantBuckets {
+					t.Fatalf("%v: node %d bucket %d has %d topics", pat, i, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(SyntheticConfig{Nodes: 20, Pattern: LowCorrelation, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(SyntheticConfig{Nodes: 20, Pattern: LowCorrelation, Seed: 7})
+	for i := range a.Subs {
+		if len(a.Subs[i]) != len(b.Subs[i]) {
+			t.Fatal("nondeterministic generation")
+		}
+		for j := range a.Subs[i] {
+			if a.Subs[i][j] != b.Subs[i][j] {
+				t.Fatal("nondeterministic generation")
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []SyntheticConfig{
+		{Nodes: 0},
+		{Nodes: 10, Topics: 10, SubsPerNode: 20},
+		{Nodes: 10, Topics: 30, Buckets: 7, Pattern: LowCorrelation},        // not divisible
+		{Nodes: 10, Topics: 100, Buckets: 100, Pattern: HighCorrelation},    // bucket size 1 < 25
+		{Nodes: 10, Topics: 5000, SubsPerNode: 7, Pattern: HighCorrelation}, // 7 not divisible by 2
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestCorrelationOrdering(t *testing.T) {
+	// The whole point of the three patterns: overlap must increase from
+	// random to high correlation (§IV-A).
+	overlaps := map[Pattern]float64{}
+	for _, pat := range []Pattern{Random, LowCorrelation, HighCorrelation} {
+		subs, err := Generate(SyntheticConfig{Nodes: 300, Pattern: pat, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		overlaps[pat] = subs.MeanPairwiseOverlap(rand.New(rand.NewSource(4)), 2000)
+	}
+	if !(overlaps[Random] < overlaps[LowCorrelation] && overlaps[LowCorrelation] < overlaps[HighCorrelation]) {
+		t.Errorf("overlap ordering violated: %v", overlaps)
+	}
+}
+
+func TestSubscribersOfInvertsSubs(t *testing.T) {
+	subs, err := Generate(SyntheticConfig{Nodes: 40, Pattern: Random, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTopic := subs.SubscribersOf()
+	if len(byTopic) != subs.Topics {
+		t.Fatalf("len = %d", len(byTopic))
+	}
+	var count int
+	for topic, nodes := range byTopic {
+		for _, n := range nodes {
+			count++
+			found := false
+			for _, tp := range subs.Subs[n] {
+				if tp == topic {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("topic %d lists node %d but node lacks it", topic, n)
+			}
+		}
+	}
+	if count != 40*50 {
+		t.Errorf("total subscription entries %d, want %d", count, 40*50)
+	}
+}
+
+func TestAvgSubsPerNode(t *testing.T) {
+	subs, _ := Generate(SyntheticConfig{Nodes: 10, Pattern: Random, Seed: 1})
+	if got := subs.AvgSubsPerNode(); got != 50 {
+		t.Errorf("AvgSubsPerNode = %g", got)
+	}
+	empty := &Subscriptions{}
+	if empty.AvgSubsPerNode() != 0 {
+		t.Error("empty should be 0")
+	}
+}
+
+func TestInterestOverlap(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want float64
+	}{
+		{[]int{1, 2, 3}, []int{3, 4}, 0.25},
+		{[]int{1, 2, 3}, []int{3, 4, 5, 6, 7, 8}, 0.125},
+		{[]int{3, 4}, []int{3, 4, 5, 6, 7, 8}, 1.0 / 3},
+		{nil, nil, 0},
+		{[]int{1}, []int{1}, 1},
+		{[]int{1}, []int{2}, 0},
+	}
+	for _, c := range cases {
+		if got := InterestOverlap(c.a, c.b); got != c.want {
+			t.Errorf("InterestOverlap(%v,%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if Random.String() != "random" || HighCorrelation.String() != "high-correlation" {
+		t.Error("bad pattern names")
+	}
+	if Pattern(99).String() == "" {
+		t.Error("unknown pattern should still render")
+	}
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vitis/internal/graph"
+	"vitis/internal/stats"
+)
+
+// TwitterConfig parameterises the synthetic follower-graph generator that
+// stands in for the 2.4M-user Twitter trace of Galuba et al. used in §IV-E.
+// The paper models both the in-degree and out-degree distributions as power
+// laws with exponent ≈ 1.65 (Fig. 8); the generator reproduces that shape.
+type TwitterConfig struct {
+	Users     int
+	Alpha     float64 // power-law exponent for degrees; paper fits 1.65
+	MaxDegree int     // cap on out-degree; default Users-1
+	Seed      int64
+}
+
+func (c *TwitterConfig) setDefaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 1.65
+	}
+	if c.MaxDegree == 0 || c.MaxDegree > c.Users-1 {
+		c.MaxDegree = c.Users - 1
+	}
+}
+
+// GenerateTwitter builds a directed follower graph (edge u→v means "u
+// follows v", i.e. u subscribes to topic v). Out-degrees are drawn from a
+// power law with exponent Alpha; followees are chosen by sampling nodes with
+// Zipf rank weights whose exponent is set so that the resulting in-degree
+// distribution is also a power law with exponent Alpha (for a Zipf rank
+// exponent s, in-degrees follow exponent 1 + 1/s; hence s = 1/(Alpha-1)).
+func GenerateTwitter(cfg TwitterConfig) (*graph.Directed[int], error) {
+	if cfg.Users < 2 {
+		return nil, fmt.Errorf("workload: twitter graph needs at least 2 users, got %d", cfg.Users)
+	}
+	cfg.setDefaults()
+	if cfg.Alpha <= 1 {
+		return nil, fmt.Errorf("workload: twitter alpha must exceed 1, got %g", cfg.Alpha)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	g := graph.NewDirected[int]()
+	for u := 0; u < cfg.Users; u++ {
+		g.AddVertex(u)
+	}
+
+	// Popularity ranks: a random permutation decouples popularity from
+	// node index.
+	rank := rng.Perm(cfg.Users)
+	s := 1 / (cfg.Alpha - 1)
+	popularity := stats.NewZipf(cfg.Users, s)
+	// byRank[r] = the node holding popularity rank r.
+	byRank := make([]int, cfg.Users)
+	for node, r := range rank {
+		byRank[r] = node
+	}
+
+	for u := 0; u < cfg.Users; u++ {
+		d := stats.SamplePowerLawDegree(rng, 1, cfg.MaxDegree, cfg.Alpha)
+		attempts := 0
+		for g.OutDegree(u) < d && attempts < d*20 {
+			attempts++
+			v := byRank[popularity.Sample(rng)]
+			if v == u || g.HasEdge(u, v) {
+				continue
+			}
+			g.AddEdge(u, v)
+		}
+	}
+	return g, nil
+}
+
+// BFSSample extracts a connected sample of roughly target vertices by
+// running breadth-first searches from random seeds over the undirected
+// version of the follower graph, mirroring the paper's sampling of the
+// Twitter log (§IV-E, citing Kurant et al. on BFS bias). The returned slice
+// holds the sampled vertex ids.
+func BFSSample(g *graph.Directed[int], rng *rand.Rand, target int) []int {
+	if target <= 0 {
+		return nil
+	}
+	verts := g.Vertices()
+	sort.Ints(verts)
+	if target >= len(verts) {
+		return verts
+	}
+	inSample := make(map[int]bool, target)
+	var sample []int
+	for len(sample) < target {
+		seed := verts[rng.Intn(len(verts))]
+		if inSample[seed] {
+			continue
+		}
+		queue := []int{seed}
+		inSample[seed] = true
+		sample = append(sample, seed)
+		for len(queue) > 0 && len(sample) < target {
+			u := queue[0]
+			queue = queue[1:]
+			nbrs := append(g.Successors(u), g.Predecessors(u)...)
+			sort.Ints(nbrs)
+			for _, v := range nbrs {
+				if len(sample) >= target {
+					break
+				}
+				if !inSample[v] {
+					inSample[v] = true
+					sample = append(sample, v)
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	sort.Ints(sample)
+	return sample
+}
+
+// SubgraphSubscriptions converts the follower relations among the sampled
+// users into a Subscriptions instance: sampled users are renumbered
+// 0..len(sample)-1, each user doubles as a topic (the paper's dual role),
+// and u subscribes to v's topic iff u follows v inside the sample.
+// Subscriptions to users outside the sample are removed, as in the paper.
+func SubgraphSubscriptions(g *graph.Directed[int], sample []int) *Subscriptions {
+	index := make(map[int]int, len(sample))
+	for i, v := range sample {
+		index[v] = i
+	}
+	subs := &Subscriptions{Nodes: len(sample), Topics: len(sample), Subs: make([][]int, len(sample))}
+	for i, v := range sample {
+		var topics []int
+		for _, w := range g.Successors(v) {
+			if j, ok := index[w]; ok {
+				topics = append(topics, j)
+			}
+		}
+		sort.Ints(topics)
+		subs.Subs[i] = topics
+	}
+	return subs
+}
+
+// TwitterStats summarises a follower graph the way the paper's Fig. 9 table
+// does.
+type TwitterStats struct {
+	Users        int
+	Follows      int // directed edges
+	AvgOutDegree float64
+	MaxOutDegree int
+	AvgInDegree  float64
+	MaxInDegree  int
+	FittedAlpha  float64 // MLE power-law exponent of the in-degree tail
+}
+
+// Stats computes the summary statistics of a follower graph.
+func Stats(g *graph.Directed[int]) TwitterStats {
+	st := TwitterStats{Users: g.NumVertices(), Follows: g.NumEdges()}
+	outs := g.OutDegrees()
+	ins := g.InDegrees()
+	if len(outs) > 0 {
+		st.MaxOutDegree = outs[len(outs)-1]
+		st.MaxInDegree = ins[len(ins)-1]
+		st.AvgOutDegree = float64(st.Follows) / float64(st.Users)
+		st.AvgInDegree = st.AvgOutDegree
+	}
+	st.FittedAlpha = stats.FitPowerLawExponent(ins, 10)
+	return st
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateTwitterShape(t *testing.T) {
+	g, err := GenerateTwitter(TwitterConfig{Users: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4000 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges generated")
+	}
+	st := Stats(g)
+	// Both tails should fit near alpha = 1.65 (paper's estimate); allow a
+	// generous band since the sample is small.
+	if math.IsNaN(st.FittedAlpha) || math.Abs(st.FittedAlpha-1.65) > 0.45 {
+		t.Errorf("fitted in-degree alpha = %g, want near 1.65", st.FittedAlpha)
+	}
+	// Heavy tail: someone should be far more popular than average.
+	if float64(st.MaxInDegree) < 10*st.AvgInDegree {
+		t.Errorf("max in-degree %d vs avg %.1f: tail too light", st.MaxInDegree, st.AvgInDegree)
+	}
+}
+
+func TestGenerateTwitterNoSelfFollow(t *testing.T) {
+	g, err := GenerateTwitter(TwitterConfig{Users: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range g.Vertices() {
+		if g.HasEdge(u, u) {
+			t.Fatalf("user %d follows itself", u)
+		}
+	}
+}
+
+func TestGenerateTwitterErrors(t *testing.T) {
+	if _, err := GenerateTwitter(TwitterConfig{Users: 1}); err == nil {
+		t.Error("expected error for 1 user")
+	}
+	if _, err := GenerateTwitter(TwitterConfig{Users: 10, Alpha: 0.9}); err == nil {
+		t.Error("expected error for alpha <= 1")
+	}
+}
+
+func TestGenerateTwitterDeterministic(t *testing.T) {
+	a, _ := GenerateTwitter(TwitterConfig{Users: 300, Seed: 5})
+	b, _ := GenerateTwitter(TwitterConfig{Users: 300, Seed: 5})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("nondeterministic edge count")
+	}
+	for _, u := range a.Vertices() {
+		for _, v := range a.Successors(u) {
+			if !b.HasEdge(u, v) {
+				t.Fatalf("edge %d->%d only in first run", u, v)
+			}
+		}
+	}
+}
+
+func TestBFSSampleSizeAndMembership(t *testing.T) {
+	g, _ := GenerateTwitter(TwitterConfig{Users: 2000, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	sample := BFSSample(g, rng, 500)
+	if len(sample) != 500 {
+		t.Fatalf("sample size %d", len(sample))
+	}
+	seen := map[int]bool{}
+	for _, v := range sample {
+		if v < 0 || v >= 2000 {
+			t.Fatalf("sampled vertex %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("vertex %d sampled twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBFSSampleWholeGraph(t *testing.T) {
+	g, _ := GenerateTwitter(TwitterConfig{Users: 50, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	sample := BFSSample(g, rng, 100)
+	if len(sample) != 50 {
+		t.Fatalf("sample of oversized target should return all vertices, got %d", len(sample))
+	}
+}
+
+func TestBFSSampleEmptyTarget(t *testing.T) {
+	g, _ := GenerateTwitter(TwitterConfig{Users: 50, Seed: 3})
+	if s := BFSSample(g, rand.New(rand.NewSource(1)), 0); s != nil {
+		t.Errorf("expected nil sample, got %v", s)
+	}
+}
+
+func TestSubgraphSubscriptions(t *testing.T) {
+	g, _ := GenerateTwitter(TwitterConfig{Users: 1000, Seed: 7})
+	rng := rand.New(rand.NewSource(8))
+	sample := BFSSample(g, rng, 300)
+	subs := SubgraphSubscriptions(g, sample)
+	if subs.Nodes != 300 || subs.Topics != 300 {
+		t.Fatalf("Nodes=%d Topics=%d", subs.Nodes, subs.Topics)
+	}
+	// Every subscription must correspond to a follow edge inside the
+	// sample.
+	for i, topics := range subs.Subs {
+		for _, j := range topics {
+			if j < 0 || j >= 300 {
+				t.Fatalf("topic index %d out of range", j)
+			}
+			if !g.HasEdge(sample[i], sample[j]) {
+				t.Fatalf("node %d subscribes to %d without follow edge", i, j)
+			}
+		}
+	}
+}
+
+func TestSubgraphSubscriptionsDropsOutside(t *testing.T) {
+	g, _ := GenerateTwitter(TwitterConfig{Users: 500, Seed: 9})
+	rng := rand.New(rand.NewSource(10))
+	sample := BFSSample(g, rng, 100)
+	subs := SubgraphSubscriptions(g, sample)
+	// The total inside-sample subscriptions must not exceed the users'
+	// raw out-degrees.
+	for i, topics := range subs.Subs {
+		if len(topics) > g.OutDegree(sample[i]) {
+			t.Fatalf("node %d has more subs than follows", i)
+		}
+	}
+}
+
+func TestStatsCountsMatch(t *testing.T) {
+	g, _ := GenerateTwitter(TwitterConfig{Users: 400, Seed: 11})
+	st := Stats(g)
+	if st.Users != 400 {
+		t.Errorf("Users = %d", st.Users)
+	}
+	if st.Follows != g.NumEdges() {
+		t.Errorf("Follows = %d, want %d", st.Follows, g.NumEdges())
+	}
+	if math.Abs(st.AvgOutDegree-float64(st.Follows)/400) > 1e-9 {
+		t.Errorf("AvgOutDegree = %g", st.AvgOutDegree)
+	}
+}
