@@ -6,7 +6,14 @@
 //	vitis-bench -fig 4,5            # only Figs. 4 and 5
 //	vitis-bench -scale tiny         # quick smoke run
 //	vitis-bench -scale paper        # the paper's 10,000-node configuration
+//	vitis-bench -parallel 8         # fan each figure's runs over 8 workers
 //	vitis-bench -o EXPERIMENTS.out  # also write the output to a file
+//
+// Each figure is a sweep of independent simulation runs; -parallel N
+// (default: the machine's CPU count) executes up to N of them concurrently.
+// Every run owns its own engine and seeded RNG streams and results are
+// aggregated by sweep index, so the tables are byte-identical for any
+// -parallel value.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -52,7 +60,8 @@ func main() {
 		figList   = flag.String("fig", "all", "comma-separated figure list (4..12, delay-scaling, gateway-threshold, rate-awareness, proximity, clusters, control-traffic) or all")
 		outPath   = flag.String("o", "", "also write output to this file")
 		seed      = flag.Int64("seed", 1, "random seed")
-		parallel  = flag.Int("parallel", 1, "number of figures to generate concurrently (each figure's runs stay sequential and deterministic)")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "max concurrent simulation runs per figure (tables are byte-identical for any value)")
+		progress  = flag.Bool("progress", true, "print per-run progress/timing to stderr")
 	)
 	flag.Parse()
 
@@ -71,11 +80,39 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Seed = *seed
+	if *parallel < 1 {
+		*parallel = 1
+	}
+	sc.Workers = *parallel
+	if *progress {
+		// Progress may fire from several worker goroutines at once.
+		var mu sync.Mutex
+		var done int
+		sc.Progress = func(label string, elapsed time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			done++
+			fmt.Fprintf(os.Stderr, "  [%4d] %-40s %8v\n", done, label, elapsed.Round(time.Millisecond))
+		}
+	}
 
 	wanted := map[string]bool{}
 	if *figList != "all" {
+		known := map[string]bool{}
+		for _, fig := range figures {
+			known[fig.name] = true
+		}
 		for _, f := range strings.Split(*figList, ",") {
-			wanted[strings.TrimSpace(f)] = true
+			name := strings.TrimSpace(f)
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "unknown figure %q (known: all", name)
+				for _, fig := range figures {
+					fmt.Fprintf(os.Stderr, ", %s", fig.name)
+				}
+				fmt.Fprintln(os.Stderr, ")")
+				os.Exit(2)
+			}
+			wanted[name] = true
 		}
 	}
 
@@ -90,53 +127,32 @@ func main() {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
-	fmt.Fprintf(out, "vitis-bench scale=%s seed=%d nodes=%d topics=%d\n\n",
-		*scaleName, *seed, sc.Nodes, sc.Topics)
+	fmt.Fprintf(out, "vitis-bench scale=%s seed=%d nodes=%d topics=%d parallel=%d\n\n",
+		*scaleName, *seed, sc.Nodes, sc.Topics, *parallel)
 
-	var selected []figure
-	for _, fig := range figures {
-		if len(wanted) == 0 || wanted[fig.name] {
-			selected = append(selected, fig)
-		}
-	}
-
-	if *parallel < 1 {
-		*parallel = 1
-	}
-	type result struct {
-		text string
-		err  error
-	}
-	results := make([]result, len(selected))
-	sem := make(chan struct{}, *parallel)
-	var wg sync.WaitGroup
-	for i, fig := range selected {
-		i, fig := i, fig
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			start := time.Now()
-			tab, err := fig.run(sc)
-			if err != nil {
-				results[i] = result{err: fmt.Errorf("figure %s: %w", fig.name, err)}
-				return
-			}
-			results[i] = result{text: fmt.Sprintf("%s\n(generated in %v)\n\n",
-				tab, time.Since(start).Round(time.Millisecond))}
-		}()
-	}
-	wg.Wait()
-
+	// Figures run one after another — the parallelism lives inside each
+	// figure's sweep — so tables stream out in order as they finish.
 	failed := false
-	for _, r := range results {
-		if r.err != nil {
-			fmt.Fprintf(out, "ERROR: %v\n\n", r.err)
+	total := time.Now()
+	for _, fig := range figures {
+		if len(wanted) > 0 && !wanted[fig.name] {
+			continue
+		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "figure %s...\n", fig.name)
+		}
+		start := time.Now()
+		tab, err := fig.run(sc)
+		if err != nil {
+			fmt.Fprintf(out, "ERROR: figure %s: %v\n\n", fig.name, err)
 			failed = true
 			continue
 		}
-		fmt.Fprint(out, r.text)
+		fmt.Fprintf(out, "%s\n(generated in %v)\n\n", tab, time.Since(start).Round(time.Millisecond))
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "total wall time %v (parallel=%d)\n",
+			time.Since(total).Round(time.Millisecond), *parallel)
 	}
 	if failed {
 		os.Exit(1)

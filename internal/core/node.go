@@ -56,11 +56,18 @@ type Node struct {
 	seenRounds int
 	pubSeq     uint64
 
-	// Pull state (§III-C's notify-then-pull data plane).
+	// Pull state (§III-C's notify-then-pull data plane). All four maps are
+	// evicted alongside the seen-set generations (evictPullState) so they
+	// stay bounded over long runs; pulling additionally drives the
+	// heartbeat's lost-pull retries.
 	payloads    map[EventID][]byte
-	pulling     map[EventID]bool
+	pulling     map[EventID]*pullState
 	pullWaiters map[EventID][]NodeID
 	wantPayload map[EventID]bool
+
+	// relayTTLExhausted counts relay lookups that died here because their
+	// TTL ran out before reaching the rendezvous node (§III-B).
+	relayTTLExhausted int
 
 	stopped bool
 }
@@ -85,7 +92,7 @@ func NewNode(net *simnet.Network, id NodeID, params Params, hooks Hooks) *Node {
 		relays:      make(map[TopicID]*relayState),
 		seen:        newSeenSet(),
 		payloads:    make(map[EventID][]byte),
-		pulling:     make(map[EventID]bool),
+		pulling:     make(map[EventID]*pullState),
 		pullWaiters: make(map[EventID][]NodeID),
 		wantPayload: make(map[EventID]bool),
 	}
@@ -239,12 +246,16 @@ func (n *Node) heartbeat() {
 			delete(n.ages, id)
 		}
 	}
+	// Resend pulls whose response is overdue (lost PullReq/PullResp).
+	n.retryPulls(now)
 	// Bound the dedup memory: rotate the seen-set generations well above
-	// any plausible dissemination time.
+	// any plausible dissemination time. Payloads and pull bookkeeping are
+	// keyed by the same events, so they are evicted on the same cadence.
 	n.seenRounds++
 	if n.seenRounds >= seenRotateRounds {
 		n.seenRounds = 0
 		n.seen.rotate()
+		n.evictPullState()
 	}
 }
 
@@ -451,6 +462,21 @@ func (n *Node) IsRendezvous(t TopicID) bool {
 func (n *Node) IsRelay(t TopicID) bool {
 	rs, ok := n.relays[t]
 	return ok && !rs.expired(n.eng.Now())
+}
+
+// RelayTTLExhausted returns how many relay-path lookups terminated at this
+// node with an exhausted TTL — each one a relay path that never reached its
+// rendezvous node (observable instead of silently truncated).
+func (n *Node) RelayTTLExhausted() int { return n.relayTTLExhausted }
+
+// PendingPulls returns the number of in-flight payload pulls — exposed for
+// tests asserting the pull pipeline stays bounded.
+func (n *Node) PendingPulls() int { return len(n.pulling) }
+
+// PullBookkeepingSize returns the total entries across the payload and pull
+// maps — exposed for tests asserting eviction keeps them bounded.
+func (n *Node) PullBookkeepingSize() int {
+	return len(n.payloads) + len(n.pulling) + len(n.pullWaiters) + len(n.wantPayload)
 }
 
 // KnownProfile returns the last profile heard from id.

@@ -63,6 +63,13 @@ type Params struct {
 	// LookupTTL caps greedy lookup lengths as a safety net while the ring
 	// is still converging.
 	LookupTTL int
+	// PullRetryPeriod is how long a payload pull waits for its PullResp
+	// before the heartbeat resends the PullReq (loss recovery for the
+	// §III-C pull phase).
+	PullRetryPeriod simnet.Time
+	// PullMaxAttempts bounds how many times one pull's PullReq is sent in
+	// total before the pull is abandoned.
+	PullMaxAttempts int
 	// NetworkSizeEstimate is N in the Symphony harmonic distance draw.
 	NetworkSizeEstimate int
 	// SamplerViewSize and SampleSize configure the peer sampling layer.
@@ -95,6 +102,14 @@ func (p Params) WithDefaults() Params {
 	}
 	if p.LookupTTL == 0 {
 		p.LookupTTL = 64
+	}
+	if p.PullRetryPeriod == 0 {
+		// Several times the worst-case round trip, and phase-shifted from
+		// the heartbeat so a retry fires on the second beat after loss.
+		p.PullRetryPeriod = 3 * p.HeartbeatPeriod / 2
+	}
+	if p.PullMaxAttempts == 0 {
+		p.PullMaxAttempts = 4
 	}
 	if p.NetworkSizeEstimate == 0 {
 		p.NetworkSizeEstimate = 10000

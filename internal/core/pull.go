@@ -1,5 +1,11 @@
 package core
 
+import (
+	"sort"
+
+	"vitis/internal/simnet"
+)
+
 // Event payload transfer (§III-C): "A node that receives a notification,
 // pulls the event from the sender. ... The event is pulled from the same
 // path as the notification propagated along."
@@ -9,6 +15,15 @@ package core
 // the payload from the notification's sender — including relay nodes, which
 // must hold the payload to serve the pulls of their own downstream — so the
 // payload travels hop-by-hop along the reverse notification paths.
+//
+// Two failure concerns shape the bookkeeping:
+//
+//   - Loss: a dropped PullReq or PullResp would otherwise starve the pull
+//     and every downstream waiter queued behind it, so in-flight pulls carry
+//     a deadline and the heartbeat resends them a bounded number of times.
+//   - Memory: payloads and pull state are evicted together with the
+//     seen-set generations (see Node.heartbeat), so a long-lived node does
+//     not retain every payload ever published.
 
 // Pull wire messages.
 type (
@@ -20,6 +35,14 @@ type (
 		Payload []byte
 	}
 )
+
+// pullState tracks one in-flight pull: where to pull from, how often the
+// request has been sent, and when the heartbeat should consider it lost.
+type pullState struct {
+	from     NodeID
+	attempts int
+	deadline simnet.Time
+}
 
 // PublishData publishes an event carrying a payload. Subscribers receive
 // the payload through the OnPayload hook after their pull completes; the
@@ -42,6 +65,7 @@ func (n *Node) PublishData(t TopicID, payload []byte) EventID {
 }
 
 // HasPayload reports whether the node has the payload of ev locally.
+// Payloads age out together with the seen-set generations.
 func (n *Node) HasPayload(ev EventID) bool {
 	_, ok := n.payloads[ev]
 	return ok
@@ -60,11 +84,81 @@ func (n *Node) startPull(from NodeID, ev EventID) {
 	if _, have := n.payloads[ev]; have {
 		return
 	}
-	if n.pulling[ev] {
+	if _, inflight := n.pulling[ev]; inflight {
 		return
 	}
-	n.pulling[ev] = true
+	n.pulling[ev] = &pullState{
+		from:     from,
+		attempts: 1,
+		deadline: n.eng.Now() + n.params.PullRetryPeriod,
+	}
 	n.net.Send(n.id, from, PullReq{Event: ev})
+}
+
+// retryPulls is the heartbeat's loss recovery for the pull phase: any pull
+// whose deadline passed is resent to the original sender, up to
+// PullMaxAttempts total sends. An exhausted pull abandons its state —
+// including queued downstream waiters, whose own retries are their recovery
+// path — so persistent loss cannot pin memory forever.
+func (n *Node) retryPulls(now simnet.Time) {
+	if len(n.pulling) == 0 {
+		return
+	}
+	// Collect and sort the expired pulls: retries send messages, and a
+	// deterministic send order keeps whole runs reproducible.
+	var expired []EventID
+	for ev, ps := range n.pulling {
+		if ps.deadline <= now {
+			expired = append(expired, ev)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool {
+		a, b := expired[i], expired[j]
+		if a.Publisher != b.Publisher {
+			return a.Publisher < b.Publisher
+		}
+		return a.Seq < b.Seq
+	})
+	for _, ev := range expired {
+		ps := n.pulling[ev]
+		if ps.attempts >= n.params.PullMaxAttempts {
+			delete(n.pulling, ev)
+			delete(n.wantPayload, ev)
+			delete(n.pullWaiters, ev)
+			continue
+		}
+		ps.attempts++
+		ps.deadline = now + n.params.PullRetryPeriod
+		n.net.Send(n.id, ps.from, PullReq{Event: ev})
+	}
+}
+
+// evictPullState drops payload and pull bookkeeping for events that have
+// aged out of the dedup generations: by then dissemination is long over, so
+// keeping the data would leak every payload ever published. Called right
+// after seen.rotate(), which bounds each map to events from the last two
+// generations.
+func (n *Node) evictPullState() {
+	for ev := range n.payloads {
+		if !n.seen.has(ev) {
+			delete(n.payloads, ev)
+		}
+	}
+	for ev := range n.pulling {
+		if !n.seen.has(ev) {
+			delete(n.pulling, ev)
+		}
+	}
+	for ev := range n.pullWaiters {
+		if !n.seen.has(ev) {
+			delete(n.pullWaiters, ev)
+		}
+	}
+	for ev := range n.wantPayload {
+		if !n.seen.has(ev) {
+			delete(n.wantPayload, ev)
+		}
+	}
 }
 
 func (n *Node) handlePullReq(from NodeID, m PullReq) {
@@ -73,7 +167,13 @@ func (n *Node) handlePullReq(from NodeID, m PullReq) {
 		return
 	}
 	// Our own pull has not completed yet: remember the requester and
-	// serve it when the payload lands.
+	// serve it when the payload lands. A retrying requester may already be
+	// queued; don't add it twice.
+	for _, w := range n.pullWaiters[m.Event] {
+		if w == from {
+			return
+		}
+	}
 	n.pullWaiters[m.Event] = append(n.pullWaiters[m.Event], from)
 }
 

@@ -32,6 +32,15 @@ func (n *Node) requestRelay(t TopicID) {
 // a child for the topic, and either forward greedily toward hash(t) or, if
 // no neighbor is closer, become the rendezvous node.
 func (n *Node) handleRelay(from NodeID, m RelayMsg) {
+	if m.TTL <= 0 {
+		// The lookup died before reaching the rendezvous node. Accepting
+		// the sender as a child would graft a half-built path that
+		// silently swallows events crossing it, so refuse the
+		// registration — the upstream hops' leases expire on their own —
+		// and count the failure so the truncation is observable.
+		n.relayTTLExhausted++
+		return
+	}
 	now := n.eng.Now()
 	rs := n.relayFor(m.Topic)
 	if rs.children == nil {
@@ -39,9 +48,6 @@ func (n *Node) handleRelay(from NodeID, m RelayMsg) {
 	}
 	rs.children[from] = now + n.params.RelayLease
 
-	if m.TTL <= 0 {
-		return
-	}
 	next, ok := n.closestNeighborTo(m.Topic)
 	if !ok {
 		rs.rendezvous = true

@@ -86,9 +86,22 @@ func TestRelayTTLStopsForwarding(t *testing.T) {
 	if forwarded {
 		t.Error("TTL 0 message was forwarded")
 	}
-	// Child state is still recorded (the sender reached us).
+	// The sender must NOT be registered as a child: the path never reached
+	// the rendezvous node, so accepting the child would graft a dead-end
+	// branch that silently swallows events. The failure is counted instead.
+	if n.IsRelay(tp) {
+		t.Error("TTL-exhausted lookup left relay state behind")
+	}
+	if got := n.RelayTTLExhausted(); got != 1 {
+		t.Errorf("RelayTTLExhausted = %d, want 1", got)
+	}
+	// A live lookup arriving afterwards still registers normally.
+	n.handleRelay(902, RelayMsg{Topic: tp, Origin: 902, TTL: 4})
 	if !n.IsRelay(tp) {
-		t.Error("child lease missing")
+		t.Error("live lookup failed to register child")
+	}
+	if got := n.RelayTTLExhausted(); got != 1 {
+		t.Errorf("RelayTTLExhausted moved to %d after live lookup", got)
 	}
 }
 

@@ -17,7 +17,10 @@ func DelayScaling(sc Scale) (*tablefmt.Table, error) {
 		Title:   "Ablation — delay scaling vs network size (bound: O(log^2 N + d))",
 		Columns: []string{"N", "avg delay", "log2(N)^2", "delay / log2(N)^2"},
 	}
-	for _, n := range []int{64, 128, 256, 512} {
+	sizes := []int{64, 128, 256, 512}
+	labels := make([]string, len(sizes))
+	cfgs := make([]RunConfig, len(sizes))
+	for i, n := range sizes {
 		subs, err := workload.Generate(workload.SyntheticConfig{
 			Nodes:       n,
 			Topics:      sc.Topics,
@@ -32,10 +35,15 @@ func DelayScaling(sc Scale) (*tablefmt.Table, error) {
 		cfg := sc.runCfg()
 		cfg.System = Vitis
 		cfg.Subs = subs
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		labels[i] = fmt.Sprintf("delay-scaling N=%d", n)
+		cfgs[i] = cfg
+	}
+	results, err := sc.runConfigs(labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		res := results[i]
 		l2 := math.Pow(math.Log2(float64(n)), 2)
 		tab.AddRow(fmt.Sprint(n), tablefmt.F(res.AvgDelay, 2), tablefmt.F(l2, 1),
 			tablefmt.F(res.AvgDelay/l2, 4))
@@ -55,15 +63,23 @@ func GatewayThreshold(sc Scale) (*tablefmt.Table, error) {
 		Title:   "Ablation — gateway hop threshold d",
 		Columns: []string{"d", "hit", "overhead", "delay(hops)"},
 	}
-	for _, d := range []int{2, 3, 5, 8, 12} {
+	thresholds := []int{2, 3, 5, 8, 12}
+	labels := make([]string, len(thresholds))
+	cfgs := make([]RunConfig, len(thresholds))
+	for i, d := range thresholds {
 		cfg := sc.runCfg()
 		cfg.System = Vitis
 		cfg.Subs = subs
 		cfg.GatewayHops = d
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		labels[i] = fmt.Sprintf("gateway-threshold d=%d", d)
+		cfgs[i] = cfg
+	}
+	results, err := sc.runConfigs(labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range thresholds {
+		res := results[i]
 		tab.AddRow(fmt.Sprint(d), tablefmt.Pct(res.HitRatio),
 			tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2))
 	}
@@ -85,27 +101,24 @@ func RateAwareness(sc Scale) (*tablefmt.Table, error) {
 	}
 	rates := workload.TopicRates(rand.New(rand.NewSource(sc.Seed+8)), sc.Topics, 2)
 
-	// Rate-aware: nodes know the true rates.
-	cfg := sc.runCfg()
-	cfg.System = Vitis
-	cfg.Subs = subs
-	cfg.Rates = rates
-	aware, err := Run(cfg)
+	// Job 0 is rate-aware (nodes know the true rates); job 1 runs the same
+	// skewed schedule with nodes clustering by plain Jaccard overlap.
+	aware := sc.runCfg()
+	aware.System = Vitis
+	aware.Subs = subs
+	aware.Rates = rates
+	oblivious := aware
+	oblivious.RateOblivious = true
+	results, err := sc.runConfigs(
+		[]string{"rate-awareness weighted", "rate-awareness unweighted"},
+		[]RunConfig{aware, oblivious})
 	if err != nil {
 		return nil, err
 	}
-	tab.AddRow("rate-weighted", tablefmt.Pct(aware.HitRatio),
-		tablefmt.Pct(aware.Overhead), tablefmt.F(aware.AvgDelay, 2))
-
-	// Rate-oblivious: same skewed schedule, but nodes cluster by plain
-	// Jaccard overlap.
-	cfg.RateOblivious = true
-	oblivious, err := Run(cfg)
-	if err != nil {
-		return nil, err
-	}
-	tab.AddRow("unweighted", tablefmt.Pct(oblivious.HitRatio),
-		tablefmt.Pct(oblivious.Overhead), tablefmt.F(oblivious.AvgDelay, 2))
+	tab.AddRow("rate-weighted", tablefmt.Pct(results[0].HitRatio),
+		tablefmt.Pct(results[0].Overhead), tablefmt.F(results[0].AvgDelay, 2))
+	tab.AddRow("unweighted", tablefmt.Pct(results[1].HitRatio),
+		tablefmt.Pct(results[1].Overhead), tablefmt.F(results[1].AvgDelay, 2))
 	tab.AddNote("rate weighting should reduce overhead: clusters form around the topics that actually carry events")
 	return tab, nil
 }
@@ -125,16 +138,29 @@ func LossResilience(sc Scale) (*tablefmt.Table, error) {
 		Title:   "Ablation — resilience to message loss",
 		Columns: []string{"loss", "system", "hit", "overhead", "delay(hops)"},
 	}
-	for _, loss := range []float64{0, 0.02, 0.05, 0.10} {
-		for _, sys := range []System{Vitis, RVR} {
+	losses := []float64{0, 0.02, 0.05, 0.10}
+	systems := []System{Vitis, RVR}
+	var labels []string
+	var cfgs []RunConfig
+	for _, loss := range losses {
+		for _, sys := range systems {
 			cfg := sc.runCfg()
 			cfg.System = sys
 			cfg.Subs = subs
 			cfg.LossProb = loss
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			labels = append(labels, fmt.Sprintf("loss %v p=%.2f", sys, loss))
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := sc.runConfigs(labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	for _, loss := range losses {
+		for _, sys := range systems {
+			res := results[next]
+			next++
 			tab.AddRow(tablefmt.Pct(loss), sys.String(), tablefmt.Pct(res.HitRatio),
 				tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2))
 		}
@@ -157,16 +183,24 @@ func ProximityAwareness(sc Scale) (*tablefmt.Table, error) {
 		Title:   "Ablation — physical-topology extension of the preference function",
 		Columns: []string{"proximity-weight", "hit", "overhead", "delay(hops)", "link-latency(ms)"},
 	}
-	for _, w := range []float64{0, 0.3, 0.6} {
+	weights := []float64{0, 0.3, 0.6}
+	labels := make([]string, len(weights))
+	cfgs := make([]RunConfig, len(weights))
+	for i, w := range weights {
 		cfg := sc.runCfg()
 		cfg.System = Vitis
 		cfg.Subs = subs
 		cfg.UseCoordinates = true
 		cfg.ProximityWeight = w
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		labels[i] = fmt.Sprintf("proximity w=%.1f", w)
+		cfgs[i] = cfg
+	}
+	results, err := sc.runConfigs(labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range weights {
+		res := results[i]
 		tab.AddRow(tablefmt.F(w, 1), tablefmt.Pct(res.HitRatio),
 			tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2),
 			tablefmt.F(res.AvgNotifLatencyMs, 1))

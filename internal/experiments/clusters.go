@@ -20,41 +20,68 @@ func ClusterAnalysis(sc Scale) (*tablefmt.Table, error) {
 			"mean-diameter", "singletons"},
 	}
 	const rtSize = 15
+	friendCounts := []int{4, 12}
+
+	// One job per (pattern, friends) point; each captures its own overlay
+	// snapshot through InspectVitis and analyses it inside the job (the
+	// BFS is the expensive part, so it parallelises too).
+	type point struct {
+		pattern workload.Pattern
+		friends int
+		stats   overlay.ClusterStats
+	}
+	var pts []*point
+	var jobs []job
 	for _, pat := range patterns {
-		for _, friends := range []int{4, 12} {
+		for _, friends := range friendCounts {
 			subs, err := sc.subscriptions(pat)
 			if err != nil {
 				return nil, err
 			}
-			var snap *overlay.Snapshot
-			cfg := sc.runCfg()
-			cfg.System = Vitis
-			cfg.Subs = subs
-			cfg.RTSize = rtSize
-			cfg.SWLinks = rtSize - 2 - friends
-			cfg.Events = 1 // structure is what we measure here
-			cfg.InspectVitis = func(nodes []*core.Node) { snap = overlay.Capture(nodes) }
-			if _, err := Run(cfg); err != nil {
-				return nil, err
-			}
-			tids := topicIDs(subs.Topics)
-			// Analyse a sample of topics with subscribers to keep the
-			// BFS work bounded.
-			sample := make([]core.TopicID, 0, 64)
-			for ti, nodesOf := range subs.SubscribersOf() {
-				if len(nodesOf) > 0 {
-					sample = append(sample, tids[ti])
-					if len(sample) == 64 {
-						break
+			p := &point{pattern: pat, friends: friends}
+			pts = append(pts, p)
+			pat, friends := pat, friends
+			jobs = append(jobs, job{
+				label: fmt.Sprintf("clusters %s friends=%d", pat, friends),
+				run: func() error {
+					var snap *overlay.Snapshot
+					cfg := sc.runCfg()
+					cfg.System = Vitis
+					cfg.Subs = subs
+					cfg.RTSize = rtSize
+					cfg.SWLinks = rtSize - 2 - friends
+					cfg.Events = 1 // structure is what we measure here
+					cfg.InspectVitis = func(nodes []*core.Node) { snap = overlay.Capture(nodes) }
+					if _, err := Run(cfg); err != nil {
+						return err
 					}
-				}
-			}
-			st := snap.Analyze(sample)
-			tab.AddRow(pat.String(), fmt.Sprint(friends),
-				tablefmt.F(st.MeanPerTopic, 2), fmt.Sprint(st.MaxPerTopic),
-				tablefmt.F(st.MeanClusterSize, 1), tablefmt.F(st.MeanDiameter, 2),
-				fmt.Sprint(st.Singletons))
+					tids := topicIDs(subs.Topics)
+					// Analyse a sample of topics with subscribers to keep
+					// the BFS work bounded.
+					sample := make([]core.TopicID, 0, 64)
+					for ti, nodesOf := range subs.SubscribersOf() {
+						if len(nodesOf) > 0 {
+							sample = append(sample, tids[ti])
+							if len(sample) == 64 {
+								break
+							}
+						}
+					}
+					p.stats = snap.Analyze(sample)
+					return nil
+				},
+			})
 		}
+	}
+	if err := sc.runJobs(jobs); err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		st := p.stats
+		tab.AddRow(p.pattern.String(), fmt.Sprint(p.friends),
+			tablefmt.F(st.MeanPerTopic, 2), fmt.Sprint(st.MaxPerTopic),
+			tablefmt.F(st.MeanClusterSize, 1), tablefmt.F(st.MeanDiameter, 2),
+			fmt.Sprint(st.Singletons))
 	}
 	tab.AddNote("more friends and higher correlation must both reduce clusters/topic (fewer, bigger clusters — the Fig. 4 mechanism)")
 	return tab, nil

@@ -65,15 +65,28 @@ func ControlTraffic(sc Scale) (*tablefmt.Table, error) {
 		return nil, err
 	}
 	rounds := sc.WarmupRounds + sc.MeasureRounds + 15 // runner's drain default
-	for _, sys := range []System{Vitis, RVR, OPT} {
-		b := &trafficBreakdown{}
-		cfg := sc.runCfg()
-		cfg.System = sys
-		cfg.Subs = subs
-		cfg.ExtraObserver = b
-		if _, err := Run(cfg); err != nil {
-			return nil, err
-		}
+	systems := []System{Vitis, RVR, OPT}
+	// One breakdown observer per job: observers are attached to that job's
+	// private network, so concurrent runs never share counters.
+	breakdowns := make([]*trafficBreakdown, len(systems))
+	jobs := make([]job, len(systems))
+	for i, sys := range systems {
+		i, sys := i, sys
+		breakdowns[i] = &trafficBreakdown{}
+		jobs[i] = job{label: fmt.Sprintf("control-traffic %v", sys), run: func() error {
+			cfg := sc.runCfg()
+			cfg.System = sys
+			cfg.Subs = subs
+			cfg.ExtraObserver = breakdowns[i]
+			_, err := Run(cfg)
+			return err
+		}}
+	}
+	if err := sc.runJobs(jobs); err != nil {
+		return nil, err
+	}
+	for i, sys := range systems {
+		b := breakdowns[i]
 		perNodeRound := func(v uint64) string {
 			return tablefmt.F(float64(v)/float64(subs.Nodes)/float64(rounds), 2)
 		}

@@ -26,6 +26,21 @@ func (s Scale) subscriptions(p workload.Pattern) (*workload.Subscriptions, error
 	})
 }
 
+// patternSubscriptions generates one subscription assignment per synthetic
+// pattern, in pattern order. Generated once, before a sweep's jobs are built,
+// and shared read-only across concurrent runs.
+func (s Scale) patternSubscriptions() ([]*workload.Subscriptions, error) {
+	out := make([]*workload.Subscriptions, len(patterns))
+	for i, pat := range patterns {
+		subs, err := s.subscriptions(pat)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = subs
+	}
+	return out, nil
+}
+
 func (s Scale) runCfg() RunConfig {
 	return RunConfig{
 		Events:        s.Events,
@@ -45,36 +60,48 @@ func Fig4Friends(sc Scale) (*tablefmt.Table, error) {
 		Columns: []string{"friends", "system", "pattern", "hit", "overhead", "delay(hops)"},
 	}
 
-	// RVR reference (no friend dimension).
 	rvrSubs, err := sc.subscriptions(workload.Random)
 	if err != nil {
 		return nil, err
 	}
-	cfg := sc.runCfg()
-	cfg.System = RVR
-	cfg.Subs = rvrSubs
-	cfg.RTSize = rtSize
-	rvrRes, err := Run(cfg)
+	subsByPat, err := sc.patternSubscriptions()
 	if err != nil {
 		return nil, err
 	}
 
-	for _, friends := range []int{0, 2, 4, 6, 8, 10, 12} {
-		sw := rtSize - 2 - friends
-		for _, pat := range patterns {
-			subs, err := sc.subscriptions(pat)
-			if err != nil {
-				return nil, err
-			}
+	friendCounts := []int{0, 2, 4, 6, 8, 10, 12}
+	var labels []string
+	var cfgs []RunConfig
+	// Job 0 is the RVR reference (no friend dimension); the Vitis sweep
+	// follows in row order.
+	cfg := sc.runCfg()
+	cfg.System = RVR
+	cfg.Subs = rvrSubs
+	cfg.RTSize = rtSize
+	labels = append(labels, "fig4 RVR reference")
+	cfgs = append(cfgs, cfg)
+	for _, friends := range friendCounts {
+		for pi, pat := range patterns {
 			cfg := sc.runCfg()
 			cfg.System = Vitis
-			cfg.Subs = subs
+			cfg.Subs = subsByPat[pi]
 			cfg.RTSize = rtSize
-			cfg.SWLinks = sw
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cfg.SWLinks = rtSize - 2 - friends
+			labels = append(labels, fmt.Sprintf("fig4 Vitis friends=%d %s", friends, pat))
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := sc.runConfigs(labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
+
+	rvrRes := results[0]
+	next := 1
+	for _, friends := range friendCounts {
+		for _, pat := range patterns {
+			res := results[next]
+			next++
 			tab.AddRow(fmt.Sprint(friends), "Vitis", pat.String(),
 				tablefmt.Pct(res.HitRatio), tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2))
 		}
@@ -104,8 +131,9 @@ func Fig5OverheadDist(sc Scale) (*tablefmt.Table, error) {
 		{RVR, workload.HighCorrelation, "RVR-correlated"},
 		{RVR, workload.Random, "RVR-random"},
 	}
-	fractions := make([][]float64, 0, len(variants))
-	for _, v := range variants {
+	labels := make([]string, len(variants))
+	cfgs := make([]RunConfig, len(variants))
+	for i, v := range variants {
 		subs, err := sc.subscriptions(v.pattern)
 		if err != nil {
 			return nil, err
@@ -113,12 +141,17 @@ func Fig5OverheadDist(sc Scale) (*tablefmt.Table, error) {
 		cfg := sc.runCfg()
 		cfg.System = v.system
 		cfg.Subs = subs
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		labels[i] = "fig5 " + v.label
+		cfgs[i] = cfg
+	}
+	results, err := sc.runConfigs(labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	fractions := make([][]float64, 0, len(variants))
+	for i, v := range variants {
 		h := stats.NewHistogram(0, 100.0000001, bins)
-		for _, pct := range res.PerNodeOverheadPct {
+		for _, pct := range results[i].PerNodeOverheadPct {
 			h.Add(pct)
 		}
 		fractions = append(fractions, h.Fractions())
@@ -143,36 +176,50 @@ func Fig6TableSize(sc Scale) (*tablefmt.Table, error) {
 		Title:   "Fig. 6 — varying routing table size",
 		Columns: []string{"RT", "system", "pattern", "hit", "overhead", "delay(hops)"},
 	}
-	for _, rt := range []int{15, 20, 25, 30, 35} {
-		for _, pat := range patterns {
-			subs, err := sc.subscriptions(pat)
-			if err != nil {
-				return nil, err
-			}
+	subsByPat, err := sc.patternSubscriptions()
+	if err != nil {
+		return nil, err
+	}
+	rvrSubs, err := sc.subscriptions(workload.Random)
+	if err != nil {
+		return nil, err
+	}
+
+	rtSizes := []int{15, 20, 25, 30, 35}
+	var labels []string
+	var cfgs []RunConfig
+	for _, rt := range rtSizes {
+		for pi, pat := range patterns {
 			cfg := sc.runCfg()
 			cfg.System = Vitis
-			cfg.Subs = subs
+			cfg.Subs = subsByPat[pi]
 			cfg.RTSize = rt
 			cfg.SWLinks = 1
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			tab.AddRow(fmt.Sprint(rt), "Vitis", pat.String(),
-				tablefmt.Pct(res.HitRatio), tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2))
-		}
-		subs, err := sc.subscriptions(workload.Random)
-		if err != nil {
-			return nil, err
+			labels = append(labels, fmt.Sprintf("fig6 Vitis RT=%d %s", rt, pat))
+			cfgs = append(cfgs, cfg)
 		}
 		cfg := sc.runCfg()
 		cfg.System = RVR
-		cfg.Subs = subs
+		cfg.Subs = rvrSubs
 		cfg.RTSize = rt
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
+		labels = append(labels, fmt.Sprintf("fig6 RVR RT=%d", rt))
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := sc.runConfigs(labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
+
+	next := 0
+	for _, rt := range rtSizes {
+		for _, pat := range patterns {
+			res := results[next]
+			next++
+			tab.AddRow(fmt.Sprint(rt), "Vitis", pat.String(),
+				tablefmt.Pct(res.HitRatio), tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2))
 		}
+		res := results[next]
+		next++
 		tab.AddRow(fmt.Sprint(rt), "RVR", "-",
 			tablefmt.Pct(res.HitRatio), tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2))
 	}
@@ -189,37 +236,56 @@ func Fig7PubRate(sc Scale) (*tablefmt.Table, error) {
 		Title:   "Fig. 7 — varying publication rate skew (power-law alpha)",
 		Columns: []string{"alpha", "system", "pattern", "hit", "overhead", "delay(hops)"},
 	}
+	subsByPat, err := sc.patternSubscriptions()
+	if err != nil {
+		return nil, err
+	}
+	rvrSubs, err := sc.subscriptions(workload.Random)
+	if err != nil {
+		return nil, err
+	}
+	alphas := []float64{0.3, 0.6, 1.0, 1.7, 3.0}
+	// The rate schedules share one RNG stream, so draw them serially (in
+	// alpha order) before fanning the runs out.
 	rng := rand.New(rand.NewSource(sc.Seed + 7))
-	for _, alpha := range []float64{0.3, 0.6, 1.0, 1.7, 3.0} {
-		rates := workload.TopicRates(rng, sc.Topics, alpha)
-		for _, pat := range patterns {
-			subs, err := sc.subscriptions(pat)
-			if err != nil {
-				return nil, err
-			}
+	ratesByAlpha := make([][]float64, len(alphas))
+	for i := range alphas {
+		ratesByAlpha[i] = workload.TopicRates(rng, sc.Topics, alphas[i])
+	}
+
+	var labels []string
+	var cfgs []RunConfig
+	for ai, alpha := range alphas {
+		for pi, pat := range patterns {
 			cfg := sc.runCfg()
 			cfg.System = Vitis
-			cfg.Subs = subs
-			cfg.Rates = rates
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			tab.AddRow(tablefmt.F(alpha, 1), "Vitis", pat.String(),
-				tablefmt.Pct(res.HitRatio), tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2))
-		}
-		subs, err := sc.subscriptions(workload.Random)
-		if err != nil {
-			return nil, err
+			cfg.Subs = subsByPat[pi]
+			cfg.Rates = ratesByAlpha[ai]
+			labels = append(labels, fmt.Sprintf("fig7 Vitis alpha=%.1f %s", alpha, pat))
+			cfgs = append(cfgs, cfg)
 		}
 		cfg := sc.runCfg()
 		cfg.System = RVR
-		cfg.Subs = subs
-		cfg.Rates = rates
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
+		cfg.Subs = rvrSubs
+		cfg.Rates = ratesByAlpha[ai]
+		labels = append(labels, fmt.Sprintf("fig7 RVR alpha=%.1f", alpha))
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := sc.runConfigs(labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
+
+	next := 0
+	for _, alpha := range alphas {
+		for _, pat := range patterns {
+			res := results[next]
+			next++
+			tab.AddRow(tablefmt.F(alpha, 1), "Vitis", pat.String(),
+				tablefmt.Pct(res.HitRatio), tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2))
 		}
+		res := results[next]
+		next++
 		tab.AddRow(tablefmt.F(alpha, 1), "RVR", "-",
 			tablefmt.Pct(res.HitRatio), tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2))
 	}
@@ -319,8 +385,12 @@ func Fig10Twitter(sc Scale) (*tablefmt.Table, error) {
 		Title:   "Fig. 10 — Twitter subscriptions",
 		Columns: []string{"RT", "system", "hit", "overhead", "delay(hops)"},
 	}
-	for _, rt := range []int{15, 20, 25, 30, 35} {
-		for _, sys := range []System{Vitis, RVR, OPT} {
+	rtSizes := []int{15, 20, 25, 30, 35}
+	systems := []System{Vitis, RVR, OPT}
+	var labels []string
+	var cfgs []RunConfig
+	for _, rt := range rtSizes {
+		for _, sys := range systems {
 			cfg := sc.runCfg()
 			cfg.System = sys
 			cfg.Subs = subs
@@ -328,10 +398,19 @@ func Fig10Twitter(sc Scale) (*tablefmt.Table, error) {
 			cfg.RTSize = rt
 			cfg.SWLinks = 1
 			cfg.OPTMaxDegree = rt
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			labels = append(labels, fmt.Sprintf("fig10 %v RT=%d", sys, rt))
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := sc.runConfigs(labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	for _, rt := range rtSizes {
+		for _, sys := range systems {
+			res := results[next]
+			next++
 			tab.AddRow(fmt.Sprint(rt), sys.String(),
 				tablefmt.Pct(res.HitRatio), tablefmt.Pct(res.Overhead), tablefmt.F(res.AvgDelay, 2))
 		}
@@ -352,10 +431,11 @@ func Fig11OPTDegree(sc Scale) (*tablefmt.Table, error) {
 	cfg.Subs = subs
 	cfg.Rates = twitterRates(subs)
 	cfg.OPTMaxDegree = 0 // unbounded
-	res, err := Run(cfg)
+	results, err := sc.runConfigs([]string{"fig11 OPT unbounded"}, []RunConfig{cfg})
 	if err != nil {
 		return nil, err
 	}
+	res := results[0]
 	tab := &tablefmt.Table{
 		Title:   "Fig. 11 — OPT node degree distribution (unbounded)",
 		Columns: []string{"degree-bin", "fraction of nodes"},
@@ -414,24 +494,32 @@ func Fig12Churn(sc Scale) (*tablefmt.Table, error) {
 		return nil, err
 	}
 
-	run := func(sys System) (*ChurnResult, error) {
-		return RunChurn(ChurnRunConfig{
-			System:       sys,
-			Subs:         subs,
-			Trace:        trace,
-			PublishEvery: sc.ChurnPublishEvery,
-			Bucket:       sc.ChurnBucket,
-			Seed:         sc.Seed,
-		})
+	// The two churn runs are independent; run them as one two-job sweep.
+	systems := []System{Vitis, RVR}
+	results := make([]*ChurnResult, len(systems))
+	jobs := make([]job, len(systems))
+	for i, sys := range systems {
+		i, sys := i, sys
+		jobs[i] = job{label: fmt.Sprintf("fig12 %v churn", sys), run: func() error {
+			res, err := RunChurn(ChurnRunConfig{
+				System:       sys,
+				Subs:         subs,
+				Trace:        trace,
+				PublishEvery: sc.ChurnPublishEvery,
+				Bucket:       sc.ChurnBucket,
+				Seed:         sc.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		}}
 	}
-	vit, err := run(Vitis)
-	if err != nil {
+	if err := sc.runJobs(jobs); err != nil {
 		return nil, err
 	}
-	rv, err := run(RVR)
-	if err != nil {
-		return nil, err
-	}
+	vit, rv := results[0], results[1]
 
 	tab := &tablefmt.Table{
 		Title: "Fig. 12 — behaviour under churn (Skype-like trace with flash crowd)",

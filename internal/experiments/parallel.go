@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"time"
+
+	"vitis/internal/parallel"
+)
+
+// job is one independent simulation run inside a sweep driver: a label for
+// progress output and a closure that executes the run and stores its result
+// into a slot owned by the driver (indexed, so aggregation order never
+// depends on completion order).
+type job struct {
+	label string
+	run   func() error
+}
+
+// runJobs executes the driver's jobs across sc.Workers goroutines (serially
+// for Workers <= 1) and reports the lowest-indexed error. Each job owns its
+// own simnet.Engine and seeded RNG streams, so the only cross-job
+// interactions are reads of shared immutable inputs (subscription patterns,
+// rate schedules); drivers must therefore generate all shared inputs before
+// building the job slice.
+func (sc Scale) runJobs(jobs []job) error {
+	return parallel.ForEach(sc.Workers, len(jobs), func(i int) error {
+		start := time.Now()
+		if err := jobs[i].run(); err != nil {
+			return err
+		}
+		if sc.Progress != nil {
+			sc.Progress(jobs[i].label, time.Since(start))
+		}
+		return nil
+	})
+}
+
+// runConfigs is the common sweep shape: execute every RunConfig with Run,
+// returning results in input order. labels must be parallel to cfgs.
+func (sc Scale) runConfigs(labels []string, cfgs []RunConfig) ([]*RunResult, error) {
+	results := make([]*RunResult, len(cfgs))
+	jobs := make([]job, len(cfgs))
+	for i := range cfgs {
+		i := i
+		jobs[i] = job{label: labels[i], run: func() error {
+			res, err := Run(cfgs[i])
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		}}
+	}
+	if err := sc.runJobs(jobs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vitis/internal/tablefmt"
+)
+
+// The parallel sweep runner's contract is byte-identical tables for any
+// worker count. These tests pin that contract for two figure drivers — one
+// plain RunConfig sweep (Fig5) and one churn-trace sweep (Fig12) — by
+// diffing the rendered tables between a serial and a 4-worker execution.
+
+func tableAt(t *testing.T, workers int, driver func(Scale) (*tablefmt.Table, error)) string {
+	t.Helper()
+	sc := Tiny()
+	sc.Workers = workers
+	tab, err := driver(sc)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return tab.String()
+}
+
+func TestFig5ParallelMatchesSerial(t *testing.T) {
+	serial := tableAt(t, 1, Fig5OverheadDist)
+	parallel := tableAt(t, 4, Fig5OverheadDist)
+	if serial != parallel {
+		t.Errorf("Fig5 tables differ between workers=1 and workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+func TestFig12ChurnParallelMatchesSerial(t *testing.T) {
+	serial := tableAt(t, 1, Fig12Churn)
+	parallel := tableAt(t, 4, Fig12Churn)
+	if serial != parallel {
+		t.Errorf("Fig12 tables differ between workers=1 and workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestProgressCallbackFiresPerRun: the Progress hook must be invoked exactly
+// once per run with a positive elapsed time, and must tolerate concurrent
+// calls (it is documented as callable from worker goroutines).
+func TestProgressCallbackFiresPerRun(t *testing.T) {
+	sc := Tiny()
+	sc.Workers = 4
+	var mu sync.Mutex
+	labels := make(map[string]int)
+	var bad atomic.Int32
+	sc.Progress = func(label string, elapsed time.Duration) {
+		if elapsed <= 0 {
+			bad.Add(1)
+		}
+		mu.Lock()
+		labels[label]++
+		mu.Unlock()
+	}
+	if _, err := Fig5OverheadDist(sc); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() != 0 {
+		t.Errorf("%d progress calls reported non-positive elapsed time", bad.Load())
+	}
+	if len(labels) == 0 {
+		t.Fatal("Progress never fired")
+	}
+	for label, n := range labels {
+		if n != 1 {
+			t.Errorf("label %q reported %d times", label, n)
+		}
+	}
+}

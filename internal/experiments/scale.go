@@ -1,6 +1,10 @@
 package experiments
 
-import "vitis/internal/simnet"
+import (
+	"time"
+
+	"vitis/internal/simnet"
+)
 
 // Scale bundles the workload sizes shared by the figure drivers. The default
 // scale runs every figure in seconds on a laptop; Paper() switches to the
@@ -29,6 +33,18 @@ type Scale struct {
 	ChurnPublishEvery simnet.Time
 
 	Seed int64
+
+	// Workers is how many simulation runs a driver may execute
+	// concurrently (the CLIs' -parallel flag). Every run owns its own
+	// engine, RNG streams and collector, and drivers aggregate results by
+	// job index, so the emitted tables are byte-identical for any value.
+	// 0 or 1 means serial.
+	Workers int
+
+	// Progress, if non-nil, receives one callback per completed run with a
+	// human-readable label and the run's wall-clock duration. It may be
+	// called from multiple goroutines concurrently when Workers > 1.
+	Progress func(label string, elapsed time.Duration)
 }
 
 // Default returns the scaled-down configuration: 512 nodes, 1000 topics in

@@ -1,0 +1,77 @@
+// Package parallel provides the deterministic worker pool underneath the
+// experiment sweep drivers. A sweep is a slice of independent jobs — each one
+// owns its own simnet.Engine and seeded RNG streams — so jobs can run on any
+// number of goroutines without perturbing each other; callers store results
+// by job index, which keeps aggregate output byte-identical to a serial run
+// regardless of worker count or completion order.
+package parallel
+
+import "sync"
+
+// ForEach invokes fn(0), fn(1), ..., fn(n-1) across at most workers
+// goroutines and returns the error of the lowest-indexed failing job (nil if
+// every job succeeded). workers <= 1 runs the jobs serially on the calling
+// goroutine, stopping at the first error — since that error is also the
+// lowest-indexed one, the returned error is identical in both modes.
+//
+// fn must be safe to call concurrently with distinct indices and should write
+// its result into an index-addressed slot owned by the caller; ForEach
+// guarantees all writes made by the jobs happen-before it returns.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over 0..n-1 with ForEach's scheduling and collects the results
+// in input order. On error the slice is nil.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		done := make([]bool, 37)
+		if err := ForEach(workers, len(done), func(i int) error {
+			done[i] = true
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, d := range done {
+			if !d {
+				t.Errorf("workers=%d: job %d not run", workers, i)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Error("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 3} {
+		err := ForEach(workers, 10, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Errorf("workers=%d: got %v, want error of job 3", workers, err)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	err := ForEach(workers, 64, func(i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent jobs, want <= %d", p, workers)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, err := Map(workers, 20, func(i int) (string, error) {
+			return fmt.Sprintf("job-%d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if want := fmt.Sprintf("job-%d", i); v != want {
+				t.Errorf("workers=%d: out[%d] = %q, want %q", workers, i, v, want)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(4, 8, func(i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if err != boom {
+		t.Errorf("err = %v", err)
+	}
+	if out != nil {
+		t.Errorf("out = %v, want nil on error", out)
+	}
+}

@@ -42,7 +42,19 @@ func (h eventHeap) Less(i, j int) bool {
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Pop zeroes the vacated slot before shrinking: the backing array outlives
+// the pop, and a stale event would pin its callback closure (and everything
+// the closure captures) until the slot is overwritten — a real leak over
+// long runs with a deep queue.
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
 
 // Engine is a deterministic discrete-event scheduler.
 type Engine struct {

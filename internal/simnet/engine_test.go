@@ -205,3 +205,19 @@ func TestClockMonotonicProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPopReleasesEventSlot(t *testing.T) {
+	// Pop must zero the vacated slot: the backing array outlives the pop,
+	// and a stale event there would pin its closure (and captured state)
+	// until overwritten.
+	e := NewEngine(1)
+	for i := 0; i < 8; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	for e.Step() {
+		tail := e.pq[:cap(e.pq)][len(e.pq)]
+		if tail.fn != nil || tail.at != 0 || tail.seq != 0 {
+			t.Fatalf("popped slot not zeroed: %+v", tail)
+		}
+	}
+}
