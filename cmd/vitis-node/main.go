@@ -1,0 +1,210 @@
+// Command vitis-node runs one Vitis peer as a real process: the same
+// protocol stack the simulator exercises (internal/core over sampling,
+// tman and bootstrap), but driven against the wall clock and talking UDP
+// through the internal/wire codec.
+//
+// A tiny cluster on the loopback interface:
+//
+//	vitis-node -role bootstrap -listen 127.0.0.1:7000 -seed 1 &
+//	vitis-node -listen 127.0.0.1:0 -bootstrap 127.0.0.1:7000 -seed 2 \
+//	    -subscribe news -publish-rate 1 &
+//	vitis-node -listen 127.0.0.1:0 -bootstrap 127.0.0.1:7000 -seed 3 \
+//	    -subscribe news &
+//
+// Each node prints "id=<hex> listening on <addr>" at startup and one
+// "DELIVER ..." line per event delivered to a local subscription. SIGUSR1
+// dumps transport and delivery metrics; SIGINT/SIGTERM dump them and exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"vitis/internal/bootstrap"
+	"vitis/internal/core"
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+	"vitis/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "UDP address to bind")
+	role := flag.String("role", "node", "node or bootstrap")
+	bootAddr := flag.String("bootstrap", "", "bootstrap server address (role=node)")
+	subscribe := flag.String("subscribe", "", "comma-separated topic names to subscribe")
+	pubRate := flag.Float64("publish-rate", 0, "events per second published to each subscribed topic")
+	seed := flag.Int64("seed", 0, "identity and RNG seed (0 = derived from pid and time)")
+	periodMs := flag.Int64("period-ms", 1000, "gossip and heartbeat period in milliseconds")
+	want := flag.Int("want", 8, "peers requested from the bootstrap server")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "vitis-node: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *seed == 0 {
+		*seed = int64(os.Getpid()) ^ time.Now().UnixNano()
+	}
+	if *periodMs <= 0 {
+		fatalf("-period-ms must be positive")
+	}
+	if err := run(*listen, *role, *bootAddr, *subscribe, *pubRate, *seed, *periodMs, *want); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vitis-node: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func run(listen, role, bootAddr, subscribe string, pubRate float64, seed, periodMs int64, want int) error {
+	udp, err := transport.ListenUDP(listen, transport.UDPConfig{})
+	if err != nil {
+		return err
+	}
+	defer udp.Close()
+
+	eng := simnet.NewEngine(seed)
+	host := transport.NewHost(eng, udp)
+	self := idspace.HashUint64(uint64(seed))
+	period := simnet.Time(periodMs)
+
+	fmt.Printf("id=%016x listening on %s\n", uint64(self), udp.LocalAddr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var delivered atomic.Uint64
+	switch role {
+	case "bootstrap":
+		// Lease registrations for 30 gossip rounds, so slow test clusters
+		// and long-lived deployments both age peers out sensibly.
+		bs := bootstrap.New(host, self, bootstrap.Config{Lease: 30 * period, DefaultWant: want})
+		host.Attach(self, simnet.HandlerFunc(bs.Deliver))
+	case "node":
+		if bootAddr == "" {
+			return fmt.Errorf("role=node requires -bootstrap")
+		}
+		bsID, err := udp.Resolve(bootAddr, 15*time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bootstrap %s is node %016x\n", bootAddr, uint64(bsID))
+		if err := setupNode(eng, host, udp, self, bsID, subscribe, pubRate, period, want, &delivered); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -role %q (want node or bootstrap)", role)
+	}
+
+	// Everything above touched the engine before the driver owns it; from
+	// here on, protocol work happens only on the driver goroutine.
+	go metricsLoop(ctx, host, udp, &delivered)
+	transport.NewDriver(host).Run(ctx)
+	printMetrics(host, udp, &delivered)
+	return nil
+}
+
+// setupNode builds the Vitis node and schedules the wire-level join dance:
+// send JoinReq to the bootstrap server (retrying every round) until a
+// JoinResp arrives, then enter the overlay with the returned peers and keep
+// the registration fresh with periodic Announces.
+func setupNode(eng *simnet.Engine, host *transport.Host, udp *transport.UDP,
+	self core.NodeID, bsID simnet.NodeID, subscribe string, pubRate float64,
+	period simnet.Time, want int, delivered *atomic.Uint64) error {
+
+	node := core.NewNode(host, self, core.Params{
+		GossipPeriod:    period,
+		HeartbeatPeriod: period,
+	}, core.Hooks{
+		OnDeliver: func(n core.NodeID, topic core.TopicID, ev core.EventID, hops int) {
+			delivered.Add(1)
+			fmt.Printf("DELIVER node=%016x topic=%016x event=%016x:%d hops=%d\n",
+				uint64(n), uint64(topic), uint64(ev.Publisher), ev.Seq, hops)
+		},
+	})
+	var topics []core.TopicID
+	if subscribe != "" {
+		for _, name := range strings.Split(subscribe, ",") {
+			tp := core.Topic(strings.TrimSpace(name))
+			node.Subscribe(tp)
+			topics = append(topics, tp)
+		}
+	}
+
+	joined := false
+	// Until the JoinResp arrives, a provisional handler occupies our id;
+	// node.Join replaces it with the node itself.
+	host.Attach(self, simnet.HandlerFunc(func(from simnet.NodeID, msg simnet.Message) {
+		resp, ok := msg.(bootstrap.JoinResp)
+		if !ok || joined {
+			return
+		}
+		joined = true
+		node.Join(resp.Peers)
+		fmt.Printf("joined with %d peers\n", len(resp.Peers))
+	}))
+	eng.Schedule(0, func() { host.Send(self, bsID, bootstrap.JoinReq{Want: want}) })
+	eng.Every(period, func() bool {
+		if joined {
+			return false
+		}
+		host.Send(self, bsID, bootstrap.JoinReq{Want: want})
+		return true
+	})
+	eng.Every(10*period, func() bool {
+		if joined {
+			host.Send(self, bsID, bootstrap.Announce{})
+		}
+		return true
+	})
+
+	if pubRate > 0 && len(topics) > 0 {
+		interval := simnet.Time(1000 / pubRate)
+		if interval < 1 {
+			interval = 1
+		}
+		eng.Every(interval, func() bool {
+			if joined {
+				for _, tp := range topics {
+					node.Publish(tp)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// metricsLoop dumps metrics on SIGUSR1 until ctx ends.
+func metricsLoop(ctx context.Context, host *transport.Host, udp *transport.UDP, delivered *atomic.Uint64) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	defer signal.Stop(ch)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+			printMetrics(host, udp, delivered)
+		}
+	}
+}
+
+// printMetrics writes one parseable METRIC line per counter. Only atomic
+// counters are read here: this runs off the driver goroutine.
+func printMetrics(host *transport.Host, udp *transport.UDP, delivered *atomic.Uint64) {
+	h, u := host.Counters(), udp.Counters()
+	fmt.Printf("METRIC delivered=%d sent=%d received=%d send_errors=%d inbox_drops=%d\n",
+		delivered.Load(), h.Sent, h.Received, h.SendErrors, h.InboxDrops)
+	fmt.Printf("METRIC tx_frames=%d tx_dropped=%d tx_pending=%d tx_errors=%d rx_datagrams=%d rx_frames=%d rx_errors=%d peers=%d\n",
+		u.TxFrames, u.TxDropped, u.TxPending, u.TxErrors, u.RxDatagrams, u.RxFrames, u.RxErrors, u.KnownPeers)
+}

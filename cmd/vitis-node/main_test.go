@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// proc wraps one vitis-node process under test, with its stdout scanned
+// line by line.
+type proc struct {
+	cmd   *exec.Cmd
+	lines chan string
+
+	mu  sync.Mutex
+	log []string
+}
+
+func startProc(t *testing.T, ctx context.Context, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.CommandContext(ctx, bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %v: %v", args, err)
+	}
+	p := &proc{cmd: cmd, lines: make(chan string, 4096)}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.log = append(p.log, line)
+			p.mu.Unlock()
+			select {
+			case p.lines <- line:
+			default:
+			}
+		}
+		close(p.lines)
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return p
+}
+
+// expect waits for a stdout line containing substr and returns it.
+func (p *proc) expect(t *testing.T, substr string, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line, ok := <-p.lines:
+			if !ok {
+				t.Fatalf("process exited before printing %q; log:\n%s", substr, p.dump())
+			}
+			if strings.Contains(line, substr) {
+				return line
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %q; log:\n%s", substr, p.dump())
+		}
+	}
+}
+
+func (p *proc) dump() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return strings.Join(p.log, "\n")
+}
+
+// TestRealProcessCluster is the end-to-end acceptance test of the wire
+// stack: it builds the vitis-node binary, launches a bootstrap server and
+// three node processes talking real UDP on the loopback interface, has all
+// three subscribe to one topic with one of them publishing, and requires
+// every subscriber to deliver the publisher's events.
+func TestRealProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "vitis-node")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	bs := startProc(t, ctx, bin, "-role", "bootstrap", "-listen", "127.0.0.1:0", "-seed", "1", "-period-ms", "100")
+	line := bs.expect(t, "listening on", 10*time.Second)
+	bsAddr := line[strings.LastIndex(line, " ")+1:]
+
+	common := []string{"-listen", "127.0.0.1:0", "-bootstrap", bsAddr,
+		"-subscribe", "news", "-period-ms", "100"}
+	publisher := startProc(t, ctx, bin, append([]string{"-seed", "2", "-publish-rate", "5"}, common...)...)
+	subA := startProc(t, ctx, bin, append([]string{"-seed", "3"}, common...)...)
+	subB := startProc(t, ctx, bin, append([]string{"-seed", "4"}, common...)...)
+
+	// The publisher's own id appears in its startup line; subscribers must
+	// deliver events stamped with it.
+	pubLine := publisher.expect(t, "id=", 10*time.Second)
+	pubID := strings.TrimPrefix(strings.Fields(pubLine)[0], "id=")
+
+	for _, p := range []*proc{publisher, subA, subB} {
+		p.expect(t, "joined with", 30*time.Second)
+	}
+	wantEvent := fmt.Sprintf("event=%s", pubID)
+	for i, p := range []*proc{publisher, subA, subB} {
+		line := p.expect(t, "DELIVER", 45*time.Second)
+		if !strings.Contains(line, wantEvent) {
+			t.Errorf("node %d delivered %q, want an event from publisher %s", i, line, pubID)
+		}
+	}
+}

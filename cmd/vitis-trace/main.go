@@ -36,6 +36,7 @@ func main() {
 	case "overlay":
 		overlayCmd(os.Args[2:])
 	default:
+		fmt.Fprintf(os.Stderr, "vitis-trace: unknown subcommand %q\n", os.Args[1])
 		usage()
 	}
 }
@@ -43,6 +44,18 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: vitis-trace {subs|twitter|churn|overlay} [flags]")
 	os.Exit(2)
+}
+
+// parseFlags parses a subcommand's flags and rejects leftover positional
+// arguments, so a typo like "vitis-trace subs -nodes512" fails loudly
+// instead of running with defaults.
+func parseFlags(fs *flag.FlagSet, args []string) {
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "vitis-trace %s: unexpected argument %q\n", fs.Name(), fs.Arg(0))
+		fs.Usage()
+		os.Exit(2)
+	}
 }
 
 // overlayCmd converges a Vitis overlay and reports its cluster structure;
@@ -58,7 +71,7 @@ func overlayCmd(args []string) {
 	friends := fs.Int("friends", 12, "friend links out of a 15-entry table")
 	dotPath := fs.String("dot", "", "write a Graphviz DOT file")
 	seed := fs.Int64("seed", 1, "random seed")
-	fs.Parse(args)
+	parseFlags(fs, args)
 
 	pat, ok := map[string]workload.Pattern{
 		"random": workload.Random, "low": workload.LowCorrelation, "high": workload.HighCorrelation,
@@ -126,7 +139,7 @@ func subsCmd(args []string) {
 	subs := fs.Int("subs", 50, "subscriptions per node")
 	buckets := fs.Int("buckets", 20, "correlation buckets")
 	seed := fs.Int64("seed", 1, "random seed")
-	fs.Parse(args)
+	parseFlags(fs, args)
 
 	pat, ok := map[string]workload.Pattern{
 		"random": workload.Random, "low": workload.LowCorrelation, "high": workload.HighCorrelation,
@@ -162,7 +175,7 @@ func twitterCmd(args []string) {
 	users := fs.Int("users", 4096, "users in the generated follower graph")
 	sample := fs.Int("sample", 512, "BFS sample size (0 = skip sampling)")
 	seed := fs.Int64("seed", 1, "random seed")
-	fs.Parse(args)
+	parseFlags(fs, args)
 
 	g, err := workload.GenerateTwitter(workload.TwitterConfig{Users: *users, Seed: *seed})
 	if err != nil {
@@ -193,7 +206,7 @@ func churnCmd(args []string) {
 	flashFrac := fs.Float64("flashfrac", 0.3, "fraction of nodes joining in the flash crowd")
 	interval := fs.Int64("interval", 50, "size-series sampling interval in seconds")
 	seed := fs.Int64("seed", 1, "random seed")
-	fs.Parse(args)
+	parseFlags(fs, args)
 
 	d := simnet.Time(*duration) * simnet.Second
 	tr, err := workload.GenerateChurn(workload.ChurnConfig{

@@ -25,11 +25,12 @@ type (
 	Announce struct{}
 )
 
-// WireSize implements simnet.Sized.
+// WireSize implements simnet.Sized: Want as a 4-byte integer.
 func (m JoinReq) WireSize() int { return 4 }
 
-// WireSize implements simnet.Sized.
-func (m JoinResp) WireSize() int { return 8 * len(m.Peers) }
+// WireSize implements simnet.Sized: a 2-byte count plus 8 bytes per peer
+// id — exactly what internal/wire encodes.
+func (m JoinResp) WireSize() int { return 2 + 8*len(m.Peers) }
 
 // WireSize implements simnet.Sized.
 func (m Announce) WireSize() int { return 1 }
@@ -60,7 +61,7 @@ func (c *Config) setDefaults() {
 
 // Service is the bootstrap node. Attach it to the network under its id.
 type Service struct {
-	net  *simnet.Network
+	net  simnet.Net
 	self simnet.NodeID
 	cfg  Config
 	rng  *rand.Rand
@@ -72,7 +73,7 @@ type Service struct {
 //
 //	bs := bootstrap.New(net, bootstrapID, bootstrap.Config{})
 //	net.Attach(bootstrapID, simnet.HandlerFunc(bs.Deliver))
-func New(net *simnet.Network, self simnet.NodeID, cfg Config) *Service {
+func New(net simnet.Net, self simnet.NodeID, cfg Config) *Service {
 	cfg.setDefaults()
 	return &Service{
 		net:    net,

@@ -128,7 +128,7 @@ func TestWireSizes(t *testing.T) {
 	if (JoinReq{}).WireSize() != 4 {
 		t.Error("JoinReq size")
 	}
-	if (JoinResp{Peers: make([]simnet.NodeID, 3)}).WireSize() != 24 {
+	if (JoinResp{Peers: make([]simnet.NodeID, 3)}).WireSize() != 26 {
 		t.Error("JoinResp size")
 	}
 	if (Announce{}).WireSize() != 1 {

@@ -14,7 +14,7 @@ import (
 // of its methods run inside simulator events, so no locking is needed.
 type Node struct {
 	id     NodeID
-	net    *simnet.Network
+	net    simnet.Net
 	eng    *simnet.Engine
 	params Params
 	rng    *rand.Rand
@@ -39,7 +39,7 @@ type Node struct {
 	reverse map[NodeID]simnet.Time
 	// knownSubs caches subscription lists gleaned from T-Man payloads for
 	// nodes without a full profile yet.
-	knownSubs map[NodeID]subsSummary
+	knownSubs map[NodeID]SubsSummary
 	// suspects are nodes whose heartbeats timed out; their descriptors
 	// keep circulating in gossip buffers for a while, so selection must
 	// refuse them until the suspicion expires (or they speak again).
@@ -73,8 +73,9 @@ type Node struct {
 }
 
 // NewNode creates a node with the given identity. Call Join to put it on the
-// network.
-func NewNode(net *simnet.Network, id NodeID, params Params, hooks Hooks) *Node {
+// network. The net may be the simulator's *simnet.Network or any real
+// transport implementing simnet.Net (see internal/transport).
+func NewNode(net simnet.Net, id NodeID, params Params, hooks Hooks) *Node {
 	p := params.WithDefaults()
 	n := &Node{
 		id:          id,
@@ -86,7 +87,7 @@ func NewNode(net *simnet.Network, id NodeID, params Params, hooks Hooks) *Node {
 		ages:        make(map[NodeID]int),
 		profiles:    make(map[NodeID]*Profile),
 		reverse:     make(map[NodeID]simnet.Time),
-		knownSubs:   make(map[NodeID]subsSummary),
+		knownSubs:   make(map[NodeID]SubsSummary),
 		suspects:    make(map[NodeID]simnet.Time),
 		proposals:   make(map[TopicID]Proposal),
 		relays:      make(map[TopicID]*relayState),
@@ -154,7 +155,7 @@ func (n *Node) Join(bootstrap []NodeID) {
 	}
 	n.xchg = tman.New(n.net, n.id, n.params.GossipPeriod, tman.Callbacks{
 		SelfDescriptor: func() tman.Descriptor {
-			return tman.Descriptor{ID: n.id, Payload: subsSummary(n.sortedSubs())}
+			return tman.Descriptor{ID: n.id, Payload: SubsSummary(n.sortedSubs())}
 		},
 		SampleNodes: func() []tman.Descriptor {
 			ids := n.sampler.Sample(n.params.SampleSize)
@@ -272,7 +273,7 @@ func (n *Node) handleProfile(from NodeID, m ProfileMsg) {
 	n.reverse[from] = n.eng.Now() + simnet.Time(n.params.StaleAge)*n.params.HeartbeatPeriod
 	if n.xchg.Contains(from) {
 		n.ages[from] = 0
-		n.xchg.UpdatePayload(from, subsSummary(m.Profile.Subs))
+		n.xchg.UpdatePayload(from, SubsSummary(m.Profile.Subs))
 	}
 	if !m.Reply {
 		n.net.Send(n.id, from, ProfileMsg{Profile: n.buildProfile(), Reply: true})
@@ -400,7 +401,7 @@ func (n *Node) expireState(now simnet.Time) {
 }
 
 // recordSubs caches a subscription list learned from gossip payloads.
-func (n *Node) recordSubs(id NodeID, subs subsSummary) {
+func (n *Node) recordSubs(id NodeID, subs SubsSummary) {
 	if id == n.id {
 		return
 	}

@@ -71,10 +71,12 @@ type (
 	}
 )
 
-// subsSummary is the T-Man descriptor payload: the subscription list used by
+// SubsSummary is the T-Man descriptor payload: the subscription list used by
 // Algorithm 4's utility ranking. Kept as its own type so payload type
-// assertions are unambiguous.
-type subsSummary []TopicID
+// assertions are unambiguous. It is exported so the wire codec
+// (internal/wire) can reconstruct descriptor payloads when messages arrive
+// over a real transport.
+type SubsSummary []TopicID
 
 // relayState is the per-topic soft state of a node on one or more relay
 // paths.

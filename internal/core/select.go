@@ -77,7 +77,7 @@ func (n *Node) selectNeighbors(buffer []tman.Descriptor) []tman.Descriptor {
 		if until, suspect := n.suspects[d.ID]; suspect && until > now {
 			continue
 		}
-		if subs, ok := d.Payload.(subsSummary); ok {
+		if subs, ok := d.Payload.(SubsSummary); ok {
 			n.recordSubs(d.ID, subs)
 		}
 		live = append(live, d)
@@ -153,7 +153,7 @@ func (n *Node) selectNeighbors(buffer []tman.Descriptor) []tman.Descriptor {
 // payload, falling back to the profile store for candidates whose payload
 // has not propagated yet.
 func (n *Node) subsOf(d tman.Descriptor) []TopicID {
-	if subs, ok := d.Payload.(subsSummary); ok {
+	if subs, ok := d.Payload.(SubsSummary); ok {
 		return subs
 	}
 	if p, ok := n.profiles[d.ID]; ok {

@@ -138,7 +138,7 @@ func newTestNode(t *testing.T, id NodeID, params Params) *Node {
 }
 
 func descWithSubs(id NodeID, subs ...TopicID) tman.Descriptor {
-	return tman.Descriptor{ID: id, Payload: subsSummary(subs)}
+	return tman.Descriptor{ID: id, Payload: SubsSummary(subs)}
 }
 
 func TestSelectNeighborsStructure(t *testing.T) {

@@ -1,14 +1,18 @@
 package core
 
-// Wire-size estimates for bandwidth accounting (simnet.Sized). Ids are 8
-// bytes; an EventID is 16; a Proposal is 8+8+4.
+// Wire sizes for bandwidth accounting (simnet.Sized). These are not
+// estimates: internal/wire's codec produces exactly these byte counts, and
+// a consistency test in that package keeps the two in lock-step, so the
+// simulator's traffic-overhead figures match real encoded sizes. Ids are 8
+// bytes; an EventID is 16; a Proposal entry is topic(8)+gw(8)+parent(8)+
+// hops(4); list fields carry a 2-byte count, payloads a 4-byte length.
 
 // WireSize implements simnet.Sized.
 func (m ProfileMsg) WireSize() int {
 	if m.Profile == nil {
 		return 1
 	}
-	return 1 + 8 + 8*len(m.Profile.Subs) + (8+20)*len(m.Profile.Proposals)
+	return 1 + 8 + 2 + 8*len(m.Profile.Subs) + 2 + 28*len(m.Profile.Proposals)
 }
 
 // WireSize implements simnet.Sized.
@@ -21,7 +25,8 @@ func (m Notification) WireSize() int { return 8 + 16 + 4 + 1 }
 func (m PullReq) WireSize() int { return 16 }
 
 // WireSize implements simnet.Sized.
-func (m PullResp) WireSize() int { return 16 + len(m.Payload) }
+func (m PullResp) WireSize() int { return 16 + 4 + len(m.Payload) }
 
-// WireSize makes subscription summaries measurable inside T-Man buffers.
-func (s subsSummary) WireSize() int { return 8 * len(s) }
+// WireSize makes subscription summaries measurable inside T-Man buffers:
+// a 2-byte count plus 8 bytes per topic id.
+func (s SubsSummary) WireSize() int { return 2 + 8*len(s) }

@@ -13,7 +13,7 @@ func TestWireSizes(t *testing.T) {
 		Subs:      []TopicID{tp, tp + 1},
 		Proposals: map[TopicID]Proposal{tp: {GW: 1, Parent: 1, Hops: 0}},
 	}
-	if got := (ProfileMsg{Profile: prof}).WireSize(); got != 1+8+16+28 {
+	if got := (ProfileMsg{Profile: prof}).WireSize(); got != 1+8+2+16+2+28 {
 		t.Errorf("ProfileMsg = %d", got)
 	}
 	if got := (ProfileMsg{}).WireSize(); got != 1 {
@@ -25,11 +25,11 @@ func TestWireSizes(t *testing.T) {
 	if got := (Notification{}).WireSize(); got != 29 {
 		t.Errorf("Notification = %d", got)
 	}
-	if got := (PullResp{Payload: make([]byte, 100)}).WireSize(); got != 116 {
+	if got := (PullResp{Payload: make([]byte, 100)}).WireSize(); got != 120 {
 		t.Errorf("PullResp = %d", got)
 	}
-	if got := (subsSummary{1, 2, 3}).WireSize(); got != 24 {
-		t.Errorf("subsSummary = %d", got)
+	if got := (SubsSummary{1, 2, 3}).WireSize(); got != 26 {
+		t.Errorf("SubsSummary = %d", got)
 	}
 	// All messages must satisfy simnet.Sized so bandwidth accounting sees
 	// them.

@@ -15,7 +15,7 @@ import (
 // peer sampling service [6, 23-25], so both are provided and either can back
 // the overlay.
 type Cyclon struct {
-	net     *simnet.Network
+	net     simnet.Net
 	self    simnet.NodeID
 	cfg     CyclonConfig
 	rng     *rand.Rand
@@ -59,7 +59,7 @@ type (
 )
 
 // NewCyclon creates a Cyclon shuffler bootstrapped with the given peers.
-func NewCyclon(net *simnet.Network, self simnet.NodeID, cfg CyclonConfig, bootstrap []simnet.NodeID, rng *rand.Rand) *Cyclon {
+func NewCyclon(net simnet.Net, self simnet.NodeID, cfg CyclonConfig, bootstrap []simnet.NodeID, rng *rand.Rand) *Cyclon {
 	cfg.setDefaults()
 	c := &Cyclon{net: net, self: self, cfg: cfg, rng: rng}
 	for _, id := range bootstrap {
@@ -219,8 +219,9 @@ func (c *Cyclon) Sample(n int) []simnet.NodeID {
 	return out
 }
 
-// WireSize implements simnet.Sized.
-func (m ShuffleRequest) WireSize() int { return 12 * len(m.Subset) }
+// WireSize implements simnet.Sized: a 2-byte count plus 12 bytes per
+// (id, age) descriptor — exactly what internal/wire encodes.
+func (m ShuffleRequest) WireSize() int { return 2 + 12*len(m.Subset) }
 
 // WireSize implements simnet.Sized.
-func (m ShuffleReply) WireSize() int { return 12 * len(m.Subset) }
+func (m ShuffleReply) WireSize() int { return 2 + 12*len(m.Subset) }

@@ -49,7 +49,7 @@ type (
 
 // Service is the per-node peer sampling instance.
 type Service struct {
-	net     *simnet.Network
+	net     simnet.Net
 	self    simnet.NodeID
 	cfg     Config
 	rng     *rand.Rand
@@ -61,7 +61,7 @@ type Service struct {
 
 // New creates a service for node self, initialised with the given bootstrap
 // peers (age 0).
-func New(net *simnet.Network, self simnet.NodeID, cfg Config, bootstrap []simnet.NodeID, rng *rand.Rand) *Service {
+func New(net simnet.Net, self simnet.NodeID, cfg Config, bootstrap []simnet.NodeID, rng *rand.Rand) *Service {
 	cfg.setDefaults()
 	s := &Service{net: net, self: self, cfg: cfg, rng: rng}
 	for _, id := range bootstrap {
@@ -195,8 +195,9 @@ func (s *Service) Sample(n int) []simnet.NodeID {
 // tests and overhead accounting).
 func (s *Service) Exchanges() uint64 { return s.exchanges }
 
-// WireSize implements simnet.Sized: 12 bytes per (id, age) descriptor.
-func (m Request) WireSize() int { return 12 * len(m.View) }
+// WireSize implements simnet.Sized: a 2-byte count plus 12 bytes per
+// (id, age) descriptor — exactly what internal/wire encodes.
+func (m Request) WireSize() int { return 2 + 12*len(m.View) }
 
 // WireSize implements simnet.Sized.
-func (m Reply) WireSize() int { return 12 * len(m.View) }
+func (m Reply) WireSize() int { return 2 + 12*len(m.View) }

@@ -155,3 +155,13 @@ func (e *Engine) Drain(maxEvents int) int {
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return e.pq.Len() }
+
+// NextAt returns the time of the earliest queued event. The second return
+// is false when the queue is empty. Real-time drivers use this to sleep
+// until the next event is due instead of busy-stepping.
+func (e *Engine) NextAt() (Time, bool) {
+	if e.pq.Len() == 0 {
+		return 0, false
+	}
+	return e.pq[0].at, true
+}

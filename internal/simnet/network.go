@@ -36,8 +36,30 @@ type Sized interface {
 	WireSize() int
 }
 
-// HeaderBytes approximates the per-message transport overhead (UDP/IP).
+// HeaderBytes is the per-message transport overhead: the size of the wire
+// frame header (internal/wire) that every real message is prefixed with.
+// The simulator charges the same constant so its bandwidth accounting
+// matches what the codec actually puts on a socket.
 const HeaderBytes = 28
+
+// Net is the message-passing surface the protocol layers are written
+// against. *Network implements it for simulation; internal/transport
+// provides implementations backed by real transports (loopback, UDP), so
+// the same protocol code can run inside the simulator or as a real process.
+type Net interface {
+	// Engine returns the event engine that owns this net's clock and
+	// timers. In a real process the engine is driven against the wall
+	// clock by a transport.Driver.
+	Engine() *Engine
+	// Send queues msg for delivery from one node to another.
+	Send(from, to NodeID, msg Message)
+	// Attach registers a local node handler; re-attaching replaces it.
+	Attach(id NodeID, h Handler)
+	// Detach removes a local node.
+	Detach(id NodeID)
+	// Alive reports whether id is a currently attached local node.
+	Alive(id NodeID) bool
+}
 
 // WireSizeOf estimates the on-the-wire size of a message: HeaderBytes plus
 // the message's own estimate, or a small default for unsized messages.

@@ -51,7 +51,7 @@ type (
 
 // Exchanger runs the periodic view exchange for one node.
 type Exchanger struct {
-	net     *simnet.Network
+	net     simnet.Net
 	self    simnet.NodeID
 	period  simnet.Time
 	rng     *rand.Rand
@@ -62,7 +62,7 @@ type Exchanger struct {
 
 // New creates an exchanger. The routing table starts from bootstrap (self
 // excluded, deduplicated).
-func New(net *simnet.Network, self simnet.NodeID, period simnet.Time, cb Callbacks, bootstrap []Descriptor, rng *rand.Rand) *Exchanger {
+func New(net simnet.Net, self simnet.NodeID, period simnet.Time, cb Callbacks, bootstrap []Descriptor, rng *rand.Rand) *Exchanger {
 	if period <= 0 {
 		period = simnet.Second
 	}
@@ -217,11 +217,12 @@ func dedup(self simnet.NodeID, ds []Descriptor) []Descriptor {
 	return out
 }
 
-// descriptorWireSize estimates one descriptor's bytes: the id plus the
-// payload when it is a subscription list (the only payload the protocols
-// use).
+// descriptorWireSize is one descriptor's encoded bytes: the id, a payload
+// kind byte, and the payload itself when present. For subscription-summary
+// payloads this matches internal/wire exactly; payloads that only exist in
+// simulation report their own WireSize or a reflectionless estimate.
 func descriptorWireSize(d Descriptor) int {
-	size := 8
+	size := 8 + 1
 	switch p := d.Payload.(type) {
 	case nil:
 	case interface{ WireSize() int }:
@@ -230,7 +231,7 @@ func descriptorWireSize(d Descriptor) int {
 		// Subscription summaries are slices of 8-byte ids; reflectionless
 		// estimate for the common case.
 		if ids, ok := p.([]simnet.NodeID); ok {
-			size += 8 * len(ids)
+			size += 2 + 8*len(ids)
 		} else {
 			size += 16
 		}
@@ -238,9 +239,9 @@ func descriptorWireSize(d Descriptor) int {
 	return size
 }
 
-// WireSize implements simnet.Sized.
+// WireSize implements simnet.Sized: a 2-byte count plus the descriptors.
 func (m Request) WireSize() int {
-	var total int
+	total := 2
 	for _, d := range m.Buffer {
 		total += descriptorWireSize(d)
 	}
@@ -249,7 +250,7 @@ func (m Request) WireSize() int {
 
 // WireSize implements simnet.Sized.
 func (m Reply) WireSize() int {
-	var total int
+	total := 2
 	for _, d := range m.Buffer {
 		total += descriptorWireSize(d)
 	}

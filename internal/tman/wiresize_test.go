@@ -11,27 +11,27 @@ type fakePayload struct{ n int }
 func (f fakePayload) WireSize() int { return f.n }
 
 func TestDescriptorWireSize(t *testing.T) {
-	if got := descriptorWireSize(Descriptor{ID: 1}); got != 8 {
-		t.Errorf("bare descriptor = %d, want 8", got)
+	if got := descriptorWireSize(Descriptor{ID: 1}); got != 9 {
+		t.Errorf("bare descriptor = %d, want 9", got)
 	}
-	if got := descriptorWireSize(Descriptor{ID: 1, Payload: fakePayload{40}}); got != 48 {
-		t.Errorf("sized payload = %d, want 48", got)
+	if got := descriptorWireSize(Descriptor{ID: 1, Payload: fakePayload{40}}); got != 49 {
+		t.Errorf("sized payload = %d, want 49", got)
 	}
-	if got := descriptorWireSize(Descriptor{ID: 1, Payload: "opaque"}); got != 24 {
-		t.Errorf("opaque payload = %d, want 24", got)
+	if got := descriptorWireSize(Descriptor{ID: 1, Payload: "opaque"}); got != 25 {
+		t.Errorf("opaque payload = %d, want 25", got)
 	}
 }
 
 func TestRequestReplyWireSize(t *testing.T) {
 	buf := []Descriptor{{ID: 1}, {ID: 2, Payload: fakePayload{8}}}
-	if got := (Request{Buffer: buf}).WireSize(); got != 8+16 {
+	if got := (Request{Buffer: buf}).WireSize(); got != 2+9+17 {
 		t.Errorf("Request = %d", got)
 	}
-	if got := (Reply{Buffer: buf}).WireSize(); got != 8+16 {
+	if got := (Reply{Buffer: buf}).WireSize(); got != 2+9+17 {
 		t.Errorf("Reply = %d", got)
 	}
 	// The network adds the header.
-	if got := simnet.WireSizeOf(Request{Buffer: buf}); got != simnet.HeaderBytes+24 {
+	if got := simnet.WireSizeOf(Request{Buffer: buf}); got != simnet.HeaderBytes+28 {
 		t.Errorf("WireSizeOf = %d", got)
 	}
 }

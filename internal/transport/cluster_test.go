@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vitis/internal/core"
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+)
+
+// rtParams are protocol timings compressed for wall-clock tests: gossip
+// rounds of 50 real milliseconds instead of the paper's one second.
+var rtParams = core.Params{
+	GossipPeriod:        50 * simnet.Millisecond,
+	HeartbeatPeriod:     50 * simnet.Millisecond,
+	NetworkSizeEstimate: 3,
+}
+
+// runRealCluster boots one Vitis node per transport (all mutually
+// subscribed to one topic and bootstrapped with each other's ids), runs a
+// Driver per node against the wall clock, publishes from node 0 every 200
+// real milliseconds, and waits until every node has delivered at least one
+// event. It fails the test on timeout.
+func runRealCluster(t *testing.T, trs []Transport) {
+	t.Helper()
+	tp := core.Topic("news")
+	ids := make([]core.NodeID, len(trs))
+	for i := range ids {
+		ids[i] = idspace.HashUint64(uint64(i))
+	}
+
+	delivered := make(chan core.NodeID, 1024)
+	hosts := make([]*Host, len(trs))
+	nodes := make([]*core.Node, len(trs))
+	for i, tr := range trs {
+		hosts[i] = NewHost(simnet.NewEngine(int64(100+i)), tr)
+		nodes[i] = core.NewNode(hosts[i], ids[i], rtParams, core.Hooks{
+			OnDeliver: func(node core.NodeID, _ core.TopicID, _ core.EventID, _ int) {
+				select {
+				case delivered <- node:
+				default:
+				}
+			},
+		})
+		nodes[i].Subscribe(tp)
+	}
+	// Wire the membership before any driver runs: Join and the publish
+	// timer touch the engines, which must not race with their drivers.
+	for i, nd := range nodes {
+		var boot []core.NodeID
+		for j, id := range ids {
+			if j != i {
+				boot = append(boot, id)
+			}
+		}
+		nd.Join(boot)
+	}
+	hosts[0].Engine().Every(200*simnet.Millisecond, func() bool {
+		nodes[0].Publish(tp)
+		return true
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, h := range hosts {
+		go NewDriver(h).Run(ctx)
+	}
+
+	waiting := make(map[core.NodeID]bool, len(ids))
+	for _, id := range ids {
+		waiting[id] = true
+	}
+	deadline := time.After(20 * time.Second)
+	for len(waiting) > 0 {
+		select {
+		case id := <-delivered:
+			delete(waiting, id)
+		case <-deadline:
+			t.Fatalf("timed out; nodes still waiting for a delivery: %v", waiting)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+
+	"vitis/internal/core"
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+)
+
+// buildSimWorld assembles a small Vitis cluster on a fresh engine and
+// network. When viaHost is true every node runs behind a SyncHost+Sim
+// transport; otherwise nodes attach to the network directly, as the
+// experiments do.
+func buildSimWorld(viaHost bool, n int) (*simnet.Engine, []*core.Node, *int) {
+	eng := simnet.NewEngine(42)
+	net := simnet.NewNetwork(eng, simnet.UniformLatency{Min: 10, Max: 80})
+	tp := core.Topic("news")
+	delivered := new(int)
+	hooks := core.Hooks{
+		OnDeliver: func(core.NodeID, core.TopicID, core.EventID, int) { *delivered++ },
+	}
+	ids := make([]core.NodeID, n)
+	for i := range ids {
+		ids[i] = idspace.HashUint64(uint64(i))
+	}
+	params := core.Params{NetworkSizeEstimate: n}
+	nodes := make([]*core.Node, n)
+	for i, id := range ids {
+		var seam simnet.Net = net
+		if viaHost {
+			seam = NewSyncHost(eng, NewSim(net))
+		}
+		nodes[i] = core.NewNode(seam, id, params, hooks)
+		nodes[i].Subscribe(tp)
+	}
+	for i, nd := range nodes {
+		nd.Join([]core.NodeID{ids[(i+1)%n], ids[(i+2)%n], ids[(i+3)%n]})
+	}
+	eng.Schedule(30*simnet.Second, func() { nodes[0].Publish(tp) })
+	return eng, nodes, delivered
+}
+
+// TestSimHostEquivalence pins the core guarantee of the transport seam: a
+// cluster run through SyncHost+Sim is event-for-event identical to one
+// attached to the simulator directly. Routing tables and delivery counts
+// must match exactly, so wrapping nodes in the transport layer cannot
+// perturb any simulation result.
+func TestSimHostEquivalence(t *testing.T) {
+	const n = 16
+	engA, nodesA, delivA := buildSimWorld(false, n)
+	engB, nodesB, delivB := buildSimWorld(true, n)
+	engA.RunUntil(40 * simnet.Second)
+	engB.RunUntil(40 * simnet.Second)
+
+	if *delivA == 0 {
+		t.Fatal("direct world delivered nothing; harness is broken")
+	}
+	if *delivA != *delivB {
+		t.Errorf("delivered %d events directly, %d via transport", *delivA, *delivB)
+	}
+	for i := range nodesA {
+		a := fmt.Sprint(nodesA[i].RoutingTable())
+		b := fmt.Sprint(nodesB[i].RoutingTable())
+		if a != b {
+			t.Errorf("node %d routing tables diverge:\n direct: %s\n hosted: %s", i, a, b)
+		}
+	}
+}
+
+// TestSyncHostDispatch covers the Host bookkeeping: attach/alive/detach,
+// counters, and the no-handler drop path.
+func TestSyncHostDispatch(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	net := simnet.NewNetwork(eng, simnet.ConstantLatency(5))
+	h := NewSyncHost(eng, NewSim(net))
+
+	var got []simnet.NodeID
+	h.Attach(1, simnet.HandlerFunc(func(from simnet.NodeID, msg simnet.Message) {
+		got = append(got, from)
+	}))
+	if !h.Alive(1) || h.Alive(2) {
+		t.Fatalf("Alive wrong: 1=%v 2=%v", h.Alive(1), h.Alive(2))
+	}
+
+	h.Send(2, 1, "hello")
+	eng.RunUntil(simnet.Second)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("delivered %v, want [2]", got)
+	}
+
+	h.Detach(1)
+	h.Send(2, 1, "gone")
+	eng.RunUntil(2 * simnet.Second)
+	if len(got) != 1 {
+		t.Fatalf("message delivered after detach")
+	}
+	c := h.Counters()
+	if c.Sent != 2 || c.Received != 1 {
+		t.Errorf("counters = %+v, want Sent 2, Received 1", c)
+	}
+}

@@ -1,0 +1,52 @@
+// Package transport runs the Vitis protocol stacks over real message
+// carriers. It is the deployment-side counterpart of internal/simnet: the
+// protocols are written against the simnet.Net seam, and this package
+// provides implementations of that seam whose messages travel through the
+// internal/wire codec instead of staying in-memory Go values.
+//
+// The pieces compose as follows:
+//
+//   - Transport moves messages between processes (or fakes doing so). Three
+//     implementations exist: Sim (the existing simulator network behind the
+//     same interface), Loopback (in-process, but every message round-trips
+//     through the wire codec), and UDP (real sockets, per-peer send queues,
+//     bounded buffers).
+//   - Host implements simnet.Net on top of a Transport, so core.Node,
+//     sampling, tman and bootstrap run unchanged.
+//   - Driver executes a Host's discrete-event engine against the wall
+//     clock, turning the simulator's virtual timers into real ones and
+//     injecting inbound transport messages as events.
+//
+// The simulation path is untouched: experiments keep using *simnet.Network
+// directly, so simulated runs remain byte-identical and deterministic.
+package transport
+
+import (
+	"vitis/internal/simnet"
+)
+
+// RecvFunc consumes an inbound message addressed to a node hosted locally.
+// Implementations of Transport call it from their receive goroutines; the
+// Host behind it is responsible for re-serialising delivery onto its
+// engine's goroutine.
+type RecvFunc func(from, to simnet.NodeID, msg simnet.Message)
+
+// Transport moves protocol messages between nodes. Implementations must be
+// safe for concurrent use: Send is called from the host's driver goroutine
+// while receives arrive from transport-owned goroutines.
+type Transport interface {
+	// SetReceiver installs the inbound sink. It must be called (by the
+	// Host) before traffic flows; messages arriving earlier are dropped.
+	SetReceiver(recv RecvFunc)
+	// Attach declares id as hosted locally, e.g. so the transport can
+	// announce it to peers or register it with a shared bus.
+	Attach(id simnet.NodeID)
+	// Detach withdraws a local id.
+	Detach(id simnet.NodeID)
+	// Send transmits msg to the node `to`. A nil error means the message
+	// was handed to the medium (delivery itself is best-effort, exactly
+	// like UDP); an error means it was definitely not sent.
+	Send(from, to simnet.NodeID, msg simnet.Message) error
+	// Close releases sockets and goroutines. Sends after Close fail.
+	Close() error
+}

@@ -1,0 +1,580 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vitis/internal/bootstrap"
+	"vitis/internal/core"
+	"vitis/internal/sampling"
+	"vitis/internal/simnet"
+	"vitis/internal/tman"
+	"vitis/internal/wire"
+)
+
+// UDP datagram envelope. Node ids are logical addresses; UDP needs a
+// mapping from id to socket address, which the envelope bootstraps and
+// gossips:
+//
+//	offset  size  field
+//	0       2     magic "VP"
+//	2       1     envelope version (1)
+//	3       1     flags: bit0 = carries a wire frame, bit1 = ack requested
+//	4       1     nSrc, then nSrc × 8-byte local node ids of the sender
+//	.       1     nHints, then nHints × (id u64, ipLen u8, ip, port u16)
+//	.       ...   wire frame (if bit0 set)
+//
+// Receivers learn "these ids live at the datagram's source address" from
+// the src list, and third-party addresses from the hints — an epidemic
+// address book piggybacked on normal traffic, so any node mentioned in a
+// view exchange or join reply becomes routable without a directory service.
+// A datagram with bit1 set requests an empty reply (a hello/ack pair), used
+// by Resolve to learn which node ids a known socket address hosts.
+const (
+	envVersion   = 1
+	flagFrame    = 1 << 0
+	flagAckReq   = 1 << 1
+	maxDatagram  = 65507
+	helloBackoff = 150 * time.Millisecond
+)
+
+var envMagic = [2]byte{'V', 'P'}
+
+// UDPConfig tunes a UDP transport; zero values get defaults.
+type UDPConfig struct {
+	// QueueCap bounds each per-peer send queue (default 128); overflow
+	// drops the newest datagram, mirroring congestion loss.
+	QueueCap int
+	// PendingCap bounds frames stashed for a peer whose address is still
+	// unknown (default 16); overflow drops the oldest stash entry.
+	PendingCap int
+	// MaxHints bounds address hints per datagram (default 8).
+	MaxHints int
+}
+
+func (c *UDPConfig) fill() {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 128
+	}
+	if c.PendingCap <= 0 {
+		c.PendingCap = 16
+	}
+	if c.MaxHints <= 0 {
+		c.MaxHints = 8
+	}
+}
+
+// UDP is a real socket transport: one datagram socket, per-peer bounded
+// send queues drained by per-peer goroutines, and an epidemic address book
+// (see the envelope comment). Safe for concurrent use.
+type UDP struct {
+	conn *net.UDPConn
+	cfg  UDPConfig
+
+	mu      sync.Mutex
+	recv    RecvFunc
+	local   map[simnet.NodeID]bool
+	book    map[simnet.NodeID]*net.UDPAddr
+	queues  map[simnet.NodeID]*peerQueue
+	pending map[simnet.NodeID][][]byte
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	txFrames     atomic.Uint64 // frames queued toward a resolved peer
+	txDropped    atomic.Uint64 // datagrams lost to a full peer queue
+	txPending    atomic.Uint64 // frames stashed awaiting address resolution
+	txErrors     atomic.Uint64 // socket write failures
+	rxDatagrams  atomic.Uint64 // datagrams parsed successfully
+	rxFrames     atomic.Uint64 // wire frames delivered upward
+	rxErrors     atomic.Uint64 // malformed datagrams or frames
+	rxUnroutable atomic.Uint64 // frames for ids not hosted here
+}
+
+type peerQueue struct {
+	ch   chan []byte
+	addr atomic.Pointer[net.UDPAddr]
+}
+
+// ListenUDP opens a UDP transport on addr (e.g. "127.0.0.1:0").
+func ListenUDP(addr string, cfg UDPConfig) (*UDP, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	cfg.fill()
+	u := &UDP{
+		conn:    conn,
+		cfg:     cfg,
+		local:   make(map[simnet.NodeID]bool),
+		book:    make(map[simnet.NodeID]*net.UDPAddr),
+		queues:  make(map[simnet.NodeID]*peerQueue),
+		pending: make(map[simnet.NodeID][][]byte),
+		done:    make(chan struct{}),
+	}
+	u.wg.Add(1)
+	go u.readLoop()
+	return u, nil
+}
+
+// LocalAddr returns the bound socket address.
+func (u *UDP) LocalAddr() *net.UDPAddr { return u.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetReceiver implements Transport.
+func (u *UDP) SetReceiver(recv RecvFunc) {
+	u.mu.Lock()
+	u.recv = recv
+	u.mu.Unlock()
+}
+
+// Attach implements Transport; attached ids are announced in every
+// outgoing envelope's src list.
+func (u *UDP) Attach(id simnet.NodeID) {
+	u.mu.Lock()
+	u.local[id] = true
+	u.mu.Unlock()
+}
+
+// Detach implements Transport.
+func (u *UDP) Detach(id simnet.NodeID) {
+	u.mu.Lock()
+	delete(u.local, id)
+	u.mu.Unlock()
+}
+
+// SetPeer seeds the address book, e.g. with a bootstrap server's address
+// from configuration. Normal operation learns everything else from
+// traffic.
+func (u *UDP) SetPeer(id simnet.NodeID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	u.learnLocked(id, ua)
+	u.mu.Unlock()
+	return nil
+}
+
+// PeerAddr reports the socket address currently on file for a node id, if
+// any — seeded by SetPeer or learned from traffic.
+func (u *UDP) PeerAddr(id simnet.NodeID) (*net.UDPAddr, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	a := u.book[id]
+	return a, a != nil
+}
+
+// Send implements Transport. Frames to peers with a known address are
+// enqueued on that peer's bounded queue; frames to unknown peers are
+// stashed until an address is learned (bounded, oldest dropped).
+func (u *UDP) Send(from, to simnet.NodeID, msg simnet.Message) error {
+	frame, err := wire.Encode(from, to, msg)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed {
+		return ErrClosed
+	}
+	if u.book[to] == nil {
+		stash := u.pending[to]
+		if len(stash) >= u.cfg.PendingCap {
+			stash = stash[1:]
+		}
+		u.pending[to] = append(stash, frame)
+		u.txPending.Add(1)
+		return nil
+	}
+	u.enqueueLocked(to, u.envelopeLocked(frame, flagFrame, mentionedIDs(msg)))
+	return nil
+}
+
+// Close implements Transport.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	close(u.done)
+	u.mu.Unlock()
+	err := u.conn.Close()
+	u.wg.Wait()
+	return err
+}
+
+// Hello sends an empty ack-requesting envelope to a raw socket address,
+// announcing our local ids and soliciting the peer's.
+func (u *UDP) Hello(addr *net.UDPAddr) {
+	u.mu.Lock()
+	dgram := u.envelopeLocked(nil, flagAckReq, nil)
+	closed := u.closed
+	u.mu.Unlock()
+	if closed {
+		return
+	}
+	if _, err := u.conn.WriteToUDP(dgram, addr); err != nil {
+		u.txErrors.Add(1)
+	}
+}
+
+// Resolve learns which node id a socket address hosts, by exchanging
+// hellos until the address book has an entry for it or the timeout
+// expires. Used at join time: configuration supplies the bootstrap
+// server's address, Resolve discovers its node id.
+func (u *UDP) Resolve(addr string, timeout time.Duration) (simnet.NodeID, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return 0, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		u.mu.Lock()
+		for id, a := range u.book {
+			if a.IP.Equal(ua.IP) && a.Port == ua.Port {
+				u.mu.Unlock()
+				return id, nil
+			}
+		}
+		u.mu.Unlock()
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("transport: resolve %s: timed out", addr)
+		}
+		u.Hello(ua)
+		select {
+		case <-u.done:
+			return 0, ErrClosed
+		case <-time.After(helloBackoff):
+		}
+	}
+}
+
+// UDPCounters is a snapshot of a UDP transport's counters.
+type UDPCounters struct {
+	TxFrames     uint64
+	TxDropped    uint64
+	TxPending    uint64
+	TxErrors     uint64
+	RxDatagrams  uint64
+	RxFrames     uint64
+	RxErrors     uint64
+	RxUnroutable uint64
+	KnownPeers   int
+}
+
+// Counters returns a snapshot of the transport's counters.
+func (u *UDP) Counters() UDPCounters {
+	u.mu.Lock()
+	peers := len(u.book)
+	u.mu.Unlock()
+	return UDPCounters{
+		TxFrames:     u.txFrames.Load(),
+		TxDropped:    u.txDropped.Load(),
+		TxPending:    u.txPending.Load(),
+		TxErrors:     u.txErrors.Load(),
+		RxDatagrams:  u.rxDatagrams.Load(),
+		RxFrames:     u.rxFrames.Load(),
+		RxErrors:     u.rxErrors.Load(),
+		RxUnroutable: u.rxUnroutable.Load(),
+		KnownPeers:   peers,
+	}
+}
+
+// enqueueLocked hands a datagram to the peer's queue goroutine, dropping
+// on overflow. Caller holds u.mu; the peer's address must be in the book.
+func (u *UDP) enqueueLocked(to simnet.NodeID, dgram []byte) {
+	q := u.queues[to]
+	if q == nil {
+		q = &peerQueue{ch: make(chan []byte, u.cfg.QueueCap)}
+		q.addr.Store(u.book[to])
+		u.queues[to] = q
+		u.wg.Add(1)
+		go u.sendLoop(q)
+	}
+	select {
+	case q.ch <- dgram:
+		u.txFrames.Add(1)
+	default:
+		u.txDropped.Add(1)
+	}
+}
+
+// sendLoop drains one peer's queue onto the socket.
+func (u *UDP) sendLoop(q *peerQueue) {
+	defer u.wg.Done()
+	for {
+		select {
+		case <-u.done:
+			return
+		case dgram := <-q.ch:
+			if _, err := u.conn.WriteToUDP(dgram, q.addr.Load()); err != nil {
+				u.txErrors.Add(1)
+			}
+		}
+	}
+}
+
+// learnLocked records id → addr, refreshes the peer's queue address, and
+// flushes any frames stashed while the address was unknown. Caller holds
+// u.mu.
+func (u *UDP) learnLocked(id simnet.NodeID, addr *net.UDPAddr) {
+	u.book[id] = addr
+	if q := u.queues[id]; q != nil {
+		q.addr.Store(addr)
+	}
+	if stash := u.pending[id]; len(stash) > 0 {
+		delete(u.pending, id)
+		for _, frame := range stash {
+			u.enqueueLocked(id, u.envelopeLocked(frame, flagFrame, nil))
+		}
+	}
+}
+
+// envelopeLocked wraps a wire frame (or nothing) in a datagram envelope,
+// piggybacking our local ids and up to MaxHints address hints. Hints
+// prefer the ids mentioned inside the message (so a node receiving a view
+// exchange can immediately reach the peers it was just told about), then
+// pad with arbitrary book entries (Go's random map order spreads the rest
+// of the book epidemically). Caller holds u.mu.
+func (u *UDP) envelopeLocked(frame []byte, flags byte, mentioned []simnet.NodeID) []byte {
+	b := make([]byte, 0, 64+len(frame))
+	b = append(b, envMagic[0], envMagic[1], envVersion, flags)
+
+	nSrcAt := len(b)
+	b = append(b, 0)
+	n := 0
+	for id := range u.local {
+		if n == 255 {
+			break
+		}
+		b = appendU64(b, uint64(id))
+		n++
+	}
+	b[nSrcAt] = byte(n)
+
+	nHintsAt := len(b)
+	b = append(b, 0)
+	budget := maxDatagram - len(b) - len(frame)
+	added := make(map[simnet.NodeID]bool)
+	n = 0
+	hint := func(id simnet.NodeID) {
+		if n >= u.cfg.MaxHints || added[id] || u.local[id] {
+			return
+		}
+		addr := u.book[id]
+		if addr == nil {
+			return
+		}
+		ip := addr.IP
+		if v4 := ip.To4(); v4 != nil {
+			ip = v4
+		}
+		sz := 8 + 1 + len(ip) + 2
+		if sz > budget {
+			return
+		}
+		budget -= sz
+		b = appendU64(b, uint64(id))
+		b = append(b, byte(len(ip)))
+		b = append(b, ip...)
+		b = append(b, byte(addr.Port>>8), byte(addr.Port))
+		added[id] = true
+		n++
+	}
+	for _, id := range mentioned {
+		hint(id)
+	}
+	for id := range u.book {
+		if n >= u.cfg.MaxHints {
+			break
+		}
+		hint(id)
+	}
+	b[nHintsAt] = byte(n)
+	return append(b, frame...)
+}
+
+// readLoop receives datagrams and dispatches their contents.
+func (u *UDP) readLoop() {
+	defer u.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, src, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-u.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			u.rxErrors.Add(1)
+			continue
+		}
+		u.handleDatagram(buf[:n], src)
+	}
+}
+
+// handleDatagram parses one envelope: learn addresses, answer acks,
+// deliver the frame.
+func (u *UDP) handleDatagram(b []byte, src *net.UDPAddr) {
+	if len(b) < 6 || b[0] != envMagic[0] || b[1] != envMagic[1] || b[2] != envVersion {
+		u.rxErrors.Add(1)
+		return
+	}
+	flags := b[3]
+	rest := b[4:]
+
+	nSrc := int(rest[0])
+	rest = rest[1:]
+	if len(rest) < nSrc*8 {
+		u.rxErrors.Add(1)
+		return
+	}
+	srcIDs := make([]simnet.NodeID, nSrc)
+	for i := range srcIDs {
+		srcIDs[i] = simnet.NodeID(takeU64(rest[i*8:]))
+	}
+	rest = rest[nSrc*8:]
+
+	if len(rest) < 1 {
+		u.rxErrors.Add(1)
+		return
+	}
+	nHints := int(rest[0])
+	rest = rest[1:]
+	type hintEntry struct {
+		id   simnet.NodeID
+		addr *net.UDPAddr
+	}
+	hints := make([]hintEntry, 0, nHints)
+	for i := 0; i < nHints; i++ {
+		if len(rest) < 9 {
+			u.rxErrors.Add(1)
+			return
+		}
+		id := simnet.NodeID(takeU64(rest))
+		ipLen := int(rest[8])
+		rest = rest[9:]
+		if ipLen != 4 && ipLen != 16 || len(rest) < ipLen+2 {
+			u.rxErrors.Add(1)
+			return
+		}
+		ip := append(net.IP(nil), rest[:ipLen]...)
+		port := int(rest[ipLen])<<8 | int(rest[ipLen+1])
+		rest = rest[ipLen+2:]
+		hints = append(hints, hintEntry{id, &net.UDPAddr{IP: ip, Port: port}})
+	}
+
+	u.mu.Lock()
+	srcCopy := &net.UDPAddr{IP: append(net.IP(nil), src.IP...), Port: src.Port, Zone: src.Zone}
+	for _, id := range srcIDs {
+		u.learnLocked(id, srcCopy)
+	}
+	for _, h := range hints {
+		// Hints are second-hand: never override what the source address
+		// of a peer's own datagram taught us.
+		if u.book[h.id] == nil {
+			u.learnLocked(h.id, h.addr)
+		}
+	}
+	recv := u.recv
+	u.mu.Unlock()
+	u.rxDatagrams.Add(1)
+
+	if flags&flagAckReq != 0 {
+		u.mu.Lock()
+		ack := u.envelopeLocked(nil, 0, nil)
+		closed := u.closed
+		u.mu.Unlock()
+		if !closed {
+			if _, err := u.conn.WriteToUDP(ack, src); err != nil {
+				u.txErrors.Add(1)
+			}
+		}
+	}
+
+	if flags&flagFrame == 0 {
+		return
+	}
+	from, to, msg, err := wire.Decode(rest)
+	if err != nil {
+		u.rxErrors.Add(1)
+		return
+	}
+	u.mu.Lock()
+	hosted := u.local[to]
+	u.mu.Unlock()
+	if !hosted {
+		u.rxUnroutable.Add(1)
+		return
+	}
+	u.rxFrames.Add(1)
+	if recv != nil {
+		recv(from, to, msg)
+	}
+}
+
+// mentionedIDs extracts the node ids a message tells its receiver about, so
+// the envelope can attach their addresses as hints and keep the epidemic
+// address book one step ahead of the protocol.
+func mentionedIDs(msg simnet.Message) []simnet.NodeID {
+	switch m := msg.(type) {
+	case bootstrap.JoinResp:
+		return m.Peers
+	case sampling.Request:
+		return samplingIDs(m.View)
+	case sampling.Reply:
+		return samplingIDs(m.View)
+	case sampling.ShuffleRequest:
+		return samplingIDs(m.Subset)
+	case sampling.ShuffleReply:
+		return samplingIDs(m.Subset)
+	case tman.Request:
+		return tmanIDs(m.Buffer)
+	case tman.Reply:
+		return tmanIDs(m.Buffer)
+	case core.RelayMsg:
+		return []simnet.NodeID{m.Origin}
+	}
+	return nil
+}
+
+func samplingIDs(view []sampling.Descriptor) []simnet.NodeID {
+	ids := make([]simnet.NodeID, len(view))
+	for i, d := range view {
+		ids[i] = d.ID
+	}
+	return ids
+}
+
+func tmanIDs(buf []tman.Descriptor) []simnet.NodeID {
+	ids := make([]simnet.NodeID, len(buf))
+	for i, d := range buf {
+		ids[i] = d.ID
+	}
+	return ids
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func takeU64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}

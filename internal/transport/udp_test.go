@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"vitis/internal/core"
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+)
+
+func listenTestUDP(t *testing.T) *UDP {
+	t.Helper()
+	u, err := ListenUDP("127.0.0.1:0", UDPConfig{})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	t.Cleanup(func() { u.Close() })
+	return u
+}
+
+// TestUDPCluster runs three Vitis nodes over real UDP sockets on the
+// loopback interface. Address books are seeded from configuration (as a
+// deployment would seed its bootstrap address); everything else — gossip,
+// topology construction, publish/notify/pull — happens over datagrams.
+func TestUDPCluster(t *testing.T) {
+	us := []*UDP{listenTestUDP(t), listenTestUDP(t), listenTestUDP(t)}
+	ids := []simnet.NodeID{idFor(0), idFor(1), idFor(2)}
+	for i, u := range us {
+		for j, v := range us {
+			if i != j {
+				if err := u.SetPeer(ids[j], v.LocalAddr().String()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	trs := make([]Transport, len(us))
+	for i, u := range us {
+		trs[i] = u
+	}
+	runRealCluster(t, trs)
+	if c := us[1].Counters(); c.RxFrames == 0 || c.TxFrames == 0 {
+		t.Errorf("node 1 saw no datagram traffic: %+v", c)
+	}
+}
+
+// idFor mirrors runRealCluster's id derivation so tests can seed address
+// books before building the nodes.
+func idFor(i int) simnet.NodeID { return idspace.HashUint64(uint64(i)) }
+
+// TestUDPResolve checks the hello/ack handshake: knowing only a socket
+// address, a node learns which id lives there.
+func TestUDPResolve(t *testing.T) {
+	server, client := listenTestUDP(t), listenTestUDP(t)
+	server.Attach(42)
+	id, err := client.Resolve(server.LocalAddr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if id != 42 {
+		t.Fatalf("resolved id %d, want 42", id)
+	}
+}
+
+// TestUDPPendingFlush checks frames sent before the peer's address is
+// known are stashed and flushed once any datagram teaches us the address.
+func TestUDPPendingFlush(t *testing.T) {
+	server, client := listenTestUDP(t), listenTestUDP(t)
+	server.Attach(42)
+
+	var mu sync.Mutex
+	var got []simnet.Message
+	server.SetReceiver(func(from, to simnet.NodeID, msg simnet.Message) {
+		mu.Lock()
+		got = append(got, msg)
+		mu.Unlock()
+	})
+
+	// Address of node 42 is unknown: the frame must be stashed, not lost.
+	if err := client.Send(7, 42, core.PullReq{}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if c := client.Counters(); c.TxPending != 1 {
+		t.Fatalf("counters = %+v, want TxPending 1", c)
+	}
+
+	// Resolving the server's address also learns 42 → addr, which must
+	// flush the stash.
+	if _, err := client.Resolve(server.LocalAddr().String(), 5*time.Second); err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stashed frame never arrived")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := got[0].(core.PullReq); !ok {
+		t.Fatalf("got %#v, want core.PullReq", got[0])
+	}
+}
+
+// TestUDPHintsSpreadAddresses checks the epidemic address book: a node
+// that has never exchanged configuration with a third party learns its
+// address from hints piggybacked on a message that mentions it.
+func TestUDPHintsSpreadAddresses(t *testing.T) {
+	a, b, c := listenTestUDP(t), listenTestUDP(t), listenTestUDP(t)
+	a.Attach(1)
+	b.Attach(2)
+	c.Attach(3)
+	b.SetReceiver(func(from, to simnet.NodeID, msg simnet.Message) {})
+
+	// a knows both b and c; b knows only a.
+	if err := a.SetPeer(2, b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetPeer(3, c.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetPeer(1, a.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	// a sends b a message mentioning node 3; the envelope must carry 3's
+	// address as a hint.
+	if err := a.Send(1, 2, core.RelayMsg{Topic: 9, Origin: 3, TTL: 1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if addr, ok := b.PeerAddr(3); ok {
+			if want := c.LocalAddr(); addr.Port != want.Port {
+				t.Fatalf("hint taught b the wrong address: %v, want %v", addr, want)
+			}
+			return // b learned 3's address without ever being configured with it
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hint never propagated 3's address to b")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

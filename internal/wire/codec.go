@@ -1,0 +1,392 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+
+	"vitis/internal/bootstrap"
+	"vitis/internal/core"
+	"vitis/internal/idspace"
+	"vitis/internal/sampling"
+	"vitis/internal/simnet"
+	"vitis/internal/tman"
+)
+
+// Per-message body codecs. Every encoder writes exactly the byte count the
+// message's WireSize() reports (the consistency test enforces this), and
+// every decoder is the strict inverse: it accepts only what the encoder
+// emits.
+
+// encodeBody appends msg's body to w and returns its registry type byte.
+func encodeBody(w *writer, msg simnet.Message) (byte, error) {
+	switch m := msg.(type) {
+	case sampling.Request:
+		return TSamplingRequest, encodeSamplingView(w, m.View)
+	case sampling.Reply:
+		return TSamplingReply, encodeSamplingView(w, m.View)
+	case sampling.ShuffleRequest:
+		return TShuffleRequest, encodeSamplingView(w, m.Subset)
+	case sampling.ShuffleReply:
+		return TShuffleReply, encodeSamplingView(w, m.Subset)
+	case tman.Request:
+		return TTManRequest, encodeTManBuffer(w, m.Buffer)
+	case tman.Reply:
+		return TTManReply, encodeTManBuffer(w, m.Buffer)
+	case bootstrap.JoinReq:
+		w.u32(uint32(int32(m.Want)))
+		return TJoinReq, nil
+	case bootstrap.JoinResp:
+		if len(m.Peers) > maxCount {
+			return TJoinResp, fmt.Errorf("%w: %d peers", ErrTooLarge, len(m.Peers))
+		}
+		w.u16(uint16(len(m.Peers)))
+		for _, id := range m.Peers {
+			w.u64(uint64(id))
+		}
+		return TJoinResp, nil
+	case bootstrap.Announce:
+		w.u8(0)
+		return TAnnounce, nil
+	case core.ProfileMsg:
+		return TProfile, encodeProfile(w, m)
+	case core.RelayMsg:
+		w.u64(uint64(m.Topic))
+		w.u64(uint64(m.Origin))
+		w.u32(uint32(int32(m.TTL)))
+		return TRelay, nil
+	case core.Notification:
+		w.u64(uint64(m.Topic))
+		w.u64(uint64(m.Event.Publisher))
+		w.u64(m.Event.Seq)
+		w.u32(uint32(int32(m.Hops)))
+		if m.HasData {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		return TNotification, nil
+	case core.PullReq:
+		w.u64(uint64(m.Event.Publisher))
+		w.u64(m.Event.Seq)
+		return TPullReq, nil
+	case core.PullResp:
+		w.u64(uint64(m.Event.Publisher))
+		w.u64(m.Event.Seq)
+		w.u32(uint32(len(m.Payload)))
+		w.bytes(m.Payload)
+		return TPullResp, nil
+	default:
+		return 0, fmt.Errorf("%w: %T", ErrUnkeyable, msg)
+	}
+}
+
+// decodeBody parses a body of the given registry type.
+func decodeBody(typ byte, r *reader) (simnet.Message, error) {
+	switch typ {
+	case TSamplingRequest:
+		return sampling.Request{View: decodeSamplingView(r)}, r.err
+	case TSamplingReply:
+		return sampling.Reply{View: decodeSamplingView(r)}, r.err
+	case TShuffleRequest:
+		return sampling.ShuffleRequest{Subset: decodeSamplingView(r)}, r.err
+	case TShuffleReply:
+		return sampling.ShuffleReply{Subset: decodeSamplingView(r)}, r.err
+	case TTManRequest:
+		return tman.Request{Buffer: decodeTManBuffer(r)}, r.err
+	case TTManReply:
+		return tman.Reply{Buffer: decodeTManBuffer(r)}, r.err
+	case TJoinReq:
+		return bootstrap.JoinReq{Want: int(int32(r.u32()))}, r.err
+	case TJoinResp:
+		n := r.count(8)
+		var peers []simnet.NodeID
+		if n > 0 {
+			peers = make([]simnet.NodeID, n)
+			for i := range peers {
+				peers[i] = simnet.NodeID(r.u64())
+			}
+		}
+		return bootstrap.JoinResp{Peers: peers}, r.err
+	case TAnnounce:
+		if r.u8() != 0 && r.err == nil {
+			r.fail(ErrCanonical)
+		}
+		return bootstrap.Announce{}, r.err
+	case TProfile:
+		return decodeProfile(r)
+	case TRelay:
+		return core.RelayMsg{
+			Topic:  core.TopicID(r.u64()),
+			Origin: simnet.NodeID(r.u64()),
+			TTL:    int(int32(r.u32())),
+		}, r.err
+	case TNotification:
+		m := core.Notification{
+			Topic: core.TopicID(r.u64()),
+			Event: core.EventID{Publisher: simnet.NodeID(r.u64()), Seq: r.u64()},
+			Hops:  int(int32(r.u32())),
+		}
+		switch r.u8() {
+		case 0:
+		case 1:
+			m.HasData = true
+		default:
+			r.fail(ErrCanonical)
+		}
+		return m, r.err
+	case TPullReq:
+		return core.PullReq{
+			Event: core.EventID{Publisher: simnet.NodeID(r.u64()), Seq: r.u64()},
+		}, r.err
+	case TPullResp:
+		m := core.PullResp{
+			Event: core.EventID{Publisher: simnet.NodeID(r.u64()), Seq: r.u64()},
+		}
+		n := int(r.u32())
+		if r.err == nil && n != r.remaining() {
+			// The payload is the last field; anything else is either
+			// truncated or carries trailing garbage.
+			r.fail(ErrFrameLength)
+		}
+		if b := r.take(n); b != nil && n > 0 {
+			m.Payload = append([]byte(nil), b...)
+		}
+		return m, r.err
+	default:
+		return nil, ErrUnknownType
+	}
+}
+
+// maxCount is the largest element count a u16-prefixed list can carry.
+const maxCount = 1<<16 - 1
+
+// --- sampling descriptors: (id u64, age i32) lists ---
+
+func encodeSamplingView(w *writer, view []sampling.Descriptor) error {
+	if len(view) > maxCount {
+		return fmt.Errorf("%w: %d descriptors", ErrTooLarge, len(view))
+	}
+	w.u16(uint16(len(view)))
+	for _, d := range view {
+		w.u64(uint64(d.ID))
+		w.u32(uint32(int32(d.Age)))
+	}
+	return nil
+}
+
+func decodeSamplingView(r *reader) []sampling.Descriptor {
+	n := r.count(12)
+	if n == 0 {
+		return nil
+	}
+	view := make([]sampling.Descriptor, n)
+	for i := range view {
+		view[i] = sampling.Descriptor{
+			ID:  simnet.NodeID(r.u64()),
+			Age: int(int32(r.u32())),
+		}
+	}
+	return view
+}
+
+// --- T-Man descriptors: id plus an optional typed payload ---
+
+// Descriptor payload kinds on the wire.
+const (
+	payloadNone byte = 0 // Payload == nil
+	payloadSubs byte = 1 // core.SubsSummary
+)
+
+func encodeTManBuffer(w *writer, buf []tman.Descriptor) error {
+	if len(buf) > maxCount {
+		return fmt.Errorf("%w: %d descriptors", ErrTooLarge, len(buf))
+	}
+	w.u16(uint16(len(buf)))
+	for _, d := range buf {
+		w.u64(uint64(d.ID))
+		switch p := d.Payload.(type) {
+		case nil:
+			w.u8(payloadNone)
+		case core.SubsSummary:
+			w.u8(payloadSubs)
+			if len(p) > maxCount {
+				return fmt.Errorf("%w: %d topics", ErrTooLarge, len(p))
+			}
+			w.u16(uint16(len(p)))
+			for _, t := range p {
+				w.u64(uint64(t))
+			}
+		default:
+			// Simulation-only payloads (e.g. the OPT baseline's) have no
+			// wire representation; refusing them here keeps the registry
+			// honest instead of silently dropping data.
+			return fmt.Errorf("%w: descriptor payload %T", ErrUnkeyable, d.Payload)
+		}
+	}
+	return nil
+}
+
+func decodeTManBuffer(r *reader) []tman.Descriptor {
+	n := r.count(9)
+	if n == 0 {
+		return nil
+	}
+	buf := make([]tman.Descriptor, n)
+	for i := range buf {
+		buf[i].ID = simnet.NodeID(r.u64())
+		switch r.u8() {
+		case payloadNone:
+		case payloadSubs:
+			buf[i].Payload = core.SubsSummary(decodeTopicList(r))
+		default:
+			r.fail(ErrCanonical)
+			return nil
+		}
+		if r.err != nil {
+			return nil
+		}
+	}
+	return buf
+}
+
+// decodeTopicList reads a strictly ascending topic-id list; subscription
+// lists are sorted everywhere in the protocols, so unsorted or duplicated
+// entries mark a non-canonical (or corrupted) frame.
+func decodeTopicList(r *reader) []core.TopicID {
+	n := r.count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]core.TopicID, n)
+	for i := range out {
+		out[i] = core.TopicID(r.u64())
+		if r.err == nil && i > 0 && out[i] <= out[i-1] {
+			r.fail(ErrCanonical)
+			return nil
+		}
+	}
+	return out
+}
+
+// --- core.ProfileMsg ---
+
+// Profile flag bits.
+const (
+	profileHasBody byte = 1 << 0
+	profileReply   byte = 1 << 1
+)
+
+func encodeProfile(w *writer, m core.ProfileMsg) error {
+	var flags byte
+	if m.Profile != nil {
+		flags |= profileHasBody
+	}
+	if m.Reply {
+		flags |= profileReply
+	}
+	w.u8(flags)
+	if m.Profile == nil {
+		return nil
+	}
+	p := m.Profile
+	if len(p.Subs) > maxCount || len(p.Proposals) > maxCount {
+		return fmt.Errorf("%w: profile with %d subs, %d proposals", ErrTooLarge, len(p.Subs), len(p.Proposals))
+	}
+	w.u64(uint64(p.ID))
+	w.u16(uint16(len(p.Subs)))
+	for _, t := range p.Subs {
+		w.u64(uint64(t))
+	}
+	// Maps have no order; sort by topic so encoding is deterministic and
+	// the decoder can demand canonical frames.
+	topics := make([]core.TopicID, 0, len(p.Proposals))
+	for t := range p.Proposals {
+		topics = append(topics, t)
+	}
+	sort.Slice(topics, func(i, j int) bool { return topics[i] < topics[j] })
+	w.u16(uint16(len(topics)))
+	for _, t := range topics {
+		prop := p.Proposals[t]
+		w.u64(uint64(t))
+		w.u64(uint64(prop.GW))
+		w.u64(uint64(prop.Parent))
+		w.u32(uint32(int32(prop.Hops)))
+	}
+	return nil
+}
+
+func decodeProfile(r *reader) (simnet.Message, error) {
+	flags := r.u8()
+	if r.err == nil && flags&^(profileHasBody|profileReply) != 0 {
+		r.fail(ErrCanonical)
+	}
+	m := core.ProfileMsg{Reply: flags&profileReply != 0}
+	if r.err != nil || flags&profileHasBody == 0 {
+		return m, r.err
+	}
+	p := &core.Profile{ID: idspace.ID(r.u64())}
+	if subs := decodeTopicList(r); len(subs) > 0 {
+		p.Subs = subs
+	}
+	np := r.count(28)
+	if np > 0 {
+		p.Proposals = make(map[core.TopicID]core.Proposal, np)
+		var prev core.TopicID
+		for i := 0; i < np; i++ {
+			t := core.TopicID(r.u64())
+			if r.err == nil && i > 0 && t <= prev {
+				r.fail(ErrCanonical)
+				break
+			}
+			prev = t
+			p.Proposals[t] = core.Proposal{
+				GW:     simnet.NodeID(r.u64()),
+				Parent: simnet.NodeID(r.u64()),
+				Hops:   int(int32(r.u32())),
+			}
+		}
+	}
+	m.Profile = p
+	return m, r.err
+}
+
+// Samples returns representative instances of every registered message
+// type, both empty and populated. Tests iterate it to prove codec/WireSize
+// consistency and round-trip fidelity, and the fuzz harness seeds its
+// corpus from it — registering a new message type without extending this
+// list fails the coverage test.
+func Samples() []simnet.Message {
+	view := []sampling.Descriptor{{ID: 3, Age: 0}, {ID: 9, Age: 4}}
+	subs := core.SubsSummary{10, 20, 30}
+	buf := []tman.Descriptor{{ID: 5}, {ID: 7, Payload: subs}}
+	profile := &core.Profile{
+		ID:   42,
+		Subs: []core.TopicID{10, 20},
+		Proposals: map[core.TopicID]core.Proposal{
+			10: {GW: 42, Parent: 42, Hops: 0},
+			20: {GW: 7, Parent: 5, Hops: 2},
+		},
+	}
+	return []simnet.Message{
+		sampling.Request{},
+		sampling.Request{View: view},
+		sampling.Reply{View: view},
+		sampling.ShuffleRequest{Subset: view},
+		sampling.ShuffleReply{Subset: view},
+		tman.Request{},
+		tman.Request{Buffer: buf},
+		tman.Reply{Buffer: buf},
+		bootstrap.JoinReq{Want: 5},
+		bootstrap.JoinResp{},
+		bootstrap.JoinResp{Peers: []simnet.NodeID{1, 2, 3}},
+		bootstrap.Announce{},
+		core.ProfileMsg{},
+		core.ProfileMsg{Reply: true},
+		core.ProfileMsg{Profile: profile},
+		core.RelayMsg{Topic: 10, Origin: 42, TTL: 16},
+		core.Notification{Topic: 10, Event: core.EventID{Publisher: 42, Seq: 7}, Hops: 3, HasData: true},
+		core.PullReq{Event: core.EventID{Publisher: 42, Seq: 7}},
+		core.PullResp{Event: core.EventID{Publisher: 42, Seq: 7}},
+		core.PullResp{Event: core.EventID{Publisher: 42, Seq: 7}, Payload: []byte("payload bytes")},
+	}
+}

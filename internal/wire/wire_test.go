@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"testing"
+
+	"vitis/internal/bootstrap"
+	"vitis/internal/core"
+	"vitis/internal/sampling"
+	"vitis/internal/simnet"
+	"vitis/internal/tman"
+)
+
+func TestHeaderMatchesSimnet(t *testing.T) {
+	if HeaderSize != simnet.HeaderBytes {
+		t.Fatalf("HeaderSize = %d, simnet.HeaderBytes = %d", HeaderSize, simnet.HeaderBytes)
+	}
+}
+
+// TestEncodeMatchesWireSize is the codec/WireSize consistency contract: for
+// every registered message type, the encoded frame length equals what the
+// simulator charges via WireSizeOf, so the traffic-overhead figures
+// (Fig. 5/6) cannot drift from real encoded sizes.
+func TestEncodeMatchesWireSize(t *testing.T) {
+	for _, msg := range Samples() {
+		frame, err := Encode(1, 2, msg)
+		if err != nil {
+			t.Errorf("Encode(%T) failed: %v", msg, err)
+			continue
+		}
+		if got, want := len(frame), simnet.WireSizeOf(msg); got != want {
+			t.Errorf("%T: encoded %d bytes, WireSizeOf says %d", msg, got, want)
+		}
+	}
+}
+
+// TestSamplesCoverRegistry keeps Samples() honest: every registered type
+// byte must appear, so new registrations are forced into the test corpus.
+func TestSamplesCoverRegistry(t *testing.T) {
+	seen := make(map[byte]bool)
+	for _, msg := range Samples() {
+		w := &writer{b: make([]byte, HeaderSize)}
+		typ, err := encodeBody(w, msg)
+		if err != nil {
+			t.Fatalf("encodeBody(%T): %v", msg, err)
+		}
+		seen[typ] = true
+	}
+	for _, typ := range Types() {
+		if !seen[typ] {
+			t.Errorf("no sample covers %s", TypeName(typ))
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, msg := range Samples() {
+		frame, err := Encode(7, 9, msg)
+		if err != nil {
+			t.Fatalf("Encode(%T): %v", msg, err)
+		}
+		from, to, decoded, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("Decode(%T): %v", msg, err)
+		}
+		if from != 7 || to != 9 {
+			t.Errorf("%T: addresses (%d,%d), want (7,9)", msg, from, to)
+		}
+		if fmt.Sprintf("%T", decoded) != fmt.Sprintf("%T", msg) {
+			t.Fatalf("decoded %T, want %T", decoded, msg)
+		}
+		// encode∘decode must be the identity on frames (the canonical-form
+		// contract the fuzzer also checks).
+		again, err := Encode(from, to, decoded)
+		if err != nil {
+			t.Fatalf("re-Encode(%T): %v", msg, err)
+		}
+		if !bytes.Equal(frame, again) {
+			t.Errorf("%T: encode∘decode not a fixed point\n first: %x\nsecond: %x", msg, frame, again)
+		}
+	}
+}
+
+func TestDecodePreservesContent(t *testing.T) {
+	prof := &core.Profile{
+		ID:   3,
+		Subs: []core.TopicID{5, 9},
+		Proposals: map[core.TopicID]core.Proposal{
+			5: {GW: 11, Parent: 3, Hops: 1},
+		},
+	}
+	frame, err := Encode(3, 4, core.ProfileMsg{Profile: prof, Reply: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, msg, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.(core.ProfileMsg)
+	if !got.Reply || got.Profile == nil {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.Profile.ID != 3 || len(got.Profile.Subs) != 2 || got.Profile.Subs[1] != 9 {
+		t.Errorf("profile fields lost: %+v", got.Profile)
+	}
+	if p := got.Profile.Proposals[5]; p.GW != 11 || p.Parent != 3 || p.Hops != 1 {
+		t.Errorf("proposal lost: %+v", p)
+	}
+
+	frame, err = Encode(1, 2, core.PullResp{
+		Event:   core.EventID{Publisher: 8, Seq: 2},
+		Payload: []byte{0xde, 0xad},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, msg, err = Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr := msg.(core.PullResp); !bytes.Equal(pr.Payload, []byte{0xde, 0xad}) {
+		t.Errorf("payload lost: %x", pr.Payload)
+	}
+
+	frame, err = Encode(1, 2, tman.Request{Buffer: []tman.Descriptor{
+		{ID: 4, Payload: core.SubsSummary{7, 8}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, msg, err = Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := msg.(tman.Request).Buffer
+	if len(buf) != 1 || buf[0].ID != 4 {
+		t.Fatalf("buffer lost: %+v", buf)
+	}
+	if subs, ok := buf[0].Payload.(core.SubsSummary); !ok || len(subs) != 2 || subs[1] != 8 {
+		t.Errorf("payload type lost: %#v", buf[0].Payload)
+	}
+}
+
+func TestEncodeRejectsSimOnlyPayload(t *testing.T) {
+	_, err := Encode(1, 2, tman.Request{Buffer: []tman.Descriptor{{ID: 1, Payload: "opaque"}}})
+	if !errors.Is(err, ErrUnkeyable) {
+		t.Errorf("err = %v, want ErrUnkeyable", err)
+	}
+	_, err = Encode(1, 2, "not a protocol message")
+	if !errors.Is(err, ErrUnkeyable) {
+		t.Errorf("err = %v, want ErrUnkeyable", err)
+	}
+}
+
+func TestEncodeRejectsOversize(t *testing.T) {
+	_, err := Encode(1, 2, core.PullResp{Payload: make([]byte, MaxBody+1)})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good, err := Encode(1, 2, core.Notification{Topic: 3, Event: core.EventID{Publisher: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"short", good[:10], ErrShortFrame},
+		{"magic", mutate(func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{"version", mutate(func(b []byte) { b[2] = 99 }), ErrBadVersion},
+		{"length", mutate(func(b []byte) { binary.BigEndian.PutUint32(b[20:24], 5) }), ErrFrameLength},
+		{"checksum", mutate(func(b []byte) { b[HeaderSize] ^= 0xff }), ErrChecksum},
+		{"truncated-with-length", nil, nil}, // handled below
+	}
+	for _, tc := range cases[:5] {
+		if _, _, _, err := Decode(tc.frame); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Unknown type byte.
+	bad := append([]byte(nil), good...)
+	bad[3] = 200
+	if _, _, _, err := Decode(bad); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("unknown type: err = %v", err)
+	}
+
+	// Non-canonical: unsorted proposal topics would re-encode differently,
+	// so the decoder must refuse them.
+	prof := &core.Profile{ID: 1, Proposals: map[core.TopicID]core.Proposal{
+		2: {GW: 1, Parent: 1}, 9: {GW: 1, Parent: 1},
+	}}
+	frame, err := Encode(1, 2, core.ProfileMsg{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two proposal entries start after flags(1)+id(8)+nsubs(2)+nprops(2);
+	// swap them to break the ascending order.
+	body := frame[HeaderSize:]
+	entry := body[13:]
+	swapped := append([]byte(nil), entry[28:56]...)
+	copy(entry[28:56], entry[:28])
+	copy(entry[:28], swapped)
+	rechecksum(frame)
+	if _, _, _, err := Decode(frame); !errors.Is(err, ErrCanonical) {
+		t.Errorf("unsorted proposals: err = %v, want ErrCanonical", err)
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	frame, err := Encode(1, 2, bootstrap.JoinReq{Want: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame = append(frame, 0x00)
+	binary.BigEndian.PutUint32(frame[20:24], uint32(len(frame)-HeaderSize))
+	rechecksum(frame)
+	if _, _, _, err := Decode(frame); !errors.Is(err, ErrTrailing) {
+		t.Errorf("err = %v, want ErrTrailing", err)
+	}
+}
+
+// TestDecodeBoundsAllocations feeds a frame whose element count promises
+// far more data than the body holds; the decoder must fail cleanly instead
+// of allocating or panicking.
+func TestDecodeBoundsAllocations(t *testing.T) {
+	frame, err := Encode(1, 2, sampling.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint16(frame[HeaderSize:], 0xffff)
+	rechecksum(frame)
+	if _, _, _, err := Decode(frame); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+// rechecksum fixes up the CRC after a test mutated the body.
+func rechecksum(frame []byte) {
+	binary.BigEndian.PutUint32(frame[24:28], crc32.ChecksumIEEE(frame[HeaderSize:]))
+}
