@@ -7,22 +7,31 @@
 //
 //	vitis-node -role bootstrap -listen 127.0.0.1:7000 -seed 1 &
 //	vitis-node -listen 127.0.0.1:0 -bootstrap 127.0.0.1:7000 -seed 2 \
-//	    -subscribe news -publish-rate 1 &
+//	    -subscribe news -publish-rate 1 -metrics-addr 127.0.0.1:9100 &
 //	vitis-node -listen 127.0.0.1:0 -bootstrap 127.0.0.1:7000 -seed 3 \
 //	    -subscribe news &
 //
 // Each node prints "id=<hex> listening on <addr>" at startup and one
-// "DELIVER ..." line per event delivered to a local subscription. SIGUSR1
-// dumps transport and delivery metrics; SIGINT/SIGTERM dump them and exit.
+// "DELIVER ..." line per event delivered to a local subscription. With
+// -metrics-addr the node serves Prometheus text on /metrics, liveness on
+// /healthz and the Go profiler under /debug/pprof/. With -trace every
+// hop-level protocol event is appended to a JSONL span file that
+// "vitis-trace spans" turns back into propagation trees. SIGUSR1 dumps the
+// metric registry to stdout; SIGINT/SIGTERM dump it and exit cleanly.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -31,6 +40,7 @@ import (
 	"vitis/internal/core"
 	"vitis/internal/idspace"
 	"vitis/internal/simnet"
+	"vitis/internal/telemetry"
 	"vitis/internal/transport"
 )
 
@@ -43,6 +53,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "identity and RNG seed (0 = derived from pid and time)")
 	periodMs := flag.Int64("period-ms", 1000, "gossip and heartbeat period in milliseconds")
 	want := flag.Int("want", 8, "peers requested from the bootstrap server")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty = off)")
+	tracePath := flag.String("trace", "", "append hop-level JSONL spans to this file (empty = off)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "vitis-node: unexpected argument %q\n", flag.Arg(0))
@@ -55,7 +67,18 @@ func main() {
 	if *periodMs <= 0 {
 		fatalf("-period-ms must be positive")
 	}
-	if err := run(*listen, *role, *bootAddr, *subscribe, *pubRate, *seed, *periodMs, *want); err != nil {
+	if err := run(config{
+		listen:      *listen,
+		role:        *role,
+		bootAddr:    *bootAddr,
+		subscribe:   *subscribe,
+		pubRate:     *pubRate,
+		seed:        *seed,
+		periodMs:    *periodMs,
+		want:        *want,
+		metricsAddr: *metricsAddr,
+		tracePath:   *tracePath,
+	}); err != nil {
 		fatalf("%v", err)
 	}
 }
@@ -65,115 +88,232 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-func run(listen, role, bootAddr, subscribe string, pubRate float64, seed, periodMs int64, want int) error {
-	udp, err := transport.ListenUDP(listen, transport.UDPConfig{})
+type config struct {
+	listen, role, bootAddr, subscribe string
+	pubRate                           float64
+	seed, periodMs                    int64
+	want                              int
+	metricsAddr, tracePath            string
+}
+
+func run(cfg config) error {
+	reg := telemetry.NewRegistry()
+
+	var tracer *telemetry.Tracer
+	if cfg.tracePath != "" {
+		f, err := os.OpenFile(cfg.tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		tracer = telemetry.NewTracer(f, func() int64 {
+			return int64(time.Since(start) / time.Millisecond)
+		})
+		defer tracer.Close()
+	}
+
+	udp, err := transport.ListenUDP(cfg.listen, transport.UDPConfig{
+		Metrics: telemetry.NewTransportMetrics(reg),
+	})
 	if err != nil {
 		return err
 	}
 	defer udp.Close()
 
-	eng := simnet.NewEngine(seed)
-	host := transport.NewHost(eng, udp)
-	self := idspace.HashUint64(uint64(seed))
-	period := simnet.Time(periodMs)
+	eng := simnet.NewEngine(cfg.seed)
+	host := transport.NewHost(eng, udp, telemetry.NewHostMetrics(reg))
+	self := idspace.HashUint64(uint64(cfg.seed))
+	period := simnet.Time(cfg.periodMs)
+
+	reg.CounterFunc("vitis_engine_events_total", "Discrete events executed by the node's engine.",
+		func() float64 { return float64(eng.EventsExecuted()) })
 
 	fmt.Printf("id=%016x listening on %s\n", uint64(self), udp.LocalAddr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	var delivered atomic.Uint64
-	switch role {
+	// joined flips once the overlay join completes; bootstrap servers are
+	// born ready. Atomic because /healthz reads it off the driver goroutine.
+	var joined atomic.Bool
+	reg.GaugeFunc("vitis_node_joined", "1 once the node has joined the overlay.",
+		func() float64 {
+			if joined.Load() {
+				return 1
+			}
+			return 0
+		})
+
+	switch cfg.role {
 	case "bootstrap":
 		// Lease registrations for 30 gossip rounds, so slow test clusters
 		// and long-lived deployments both age peers out sensibly.
-		bs := bootstrap.New(host, self, bootstrap.Config{Lease: 30 * period, DefaultWant: want})
+		bs := bootstrap.New(host, self, bootstrap.Config{Lease: 30 * period, DefaultWant: cfg.want})
 		host.Attach(self, simnet.HandlerFunc(bs.Deliver))
+		joined.Store(true)
 	case "node":
-		if bootAddr == "" {
+		if cfg.bootAddr == "" {
 			return fmt.Errorf("role=node requires -bootstrap")
 		}
-		bsID, err := udp.Resolve(bootAddr, 15*time.Second)
+		bsID, err := udp.Resolve(cfg.bootAddr, 15*time.Second)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("bootstrap %s is node %016x\n", bootAddr, uint64(bsID))
-		if err := setupNode(eng, host, udp, self, bsID, subscribe, pubRate, period, want, &delivered); err != nil {
+		fmt.Printf("bootstrap %s is node %016x\n", cfg.bootAddr, uint64(bsID))
+		nodeCfg := nodeConfig{
+			self: self, bsID: bsID, subscribe: cfg.subscribe,
+			pubRate: cfg.pubRate, period: period, want: cfg.want,
+			metrics: telemetry.NewNodeMetrics(reg), tracer: tracer, joined: &joined,
+		}
+		if err := setupNode(eng, host, nodeCfg); err != nil {
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown -role %q (want node or bootstrap)", role)
+		return fmt.Errorf("unknown -role %q (want node or bootstrap)", cfg.role)
+	}
+
+	srv, err := serveMetrics(cfg.metricsAddr, reg, &joined)
+	if err != nil {
+		return err
 	}
 
 	// Everything above touched the engine before the driver owns it; from
 	// here on, protocol work happens only on the driver goroutine.
-	go metricsLoop(ctx, host, udp, &delivered)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sigusrLoop(ctx, reg)
+	}()
 	transport.NewDriver(host).Run(ctx)
-	printMetrics(host, udp, &delivered)
+
+	// Shutdown: the driver returned because ctx was cancelled. Drain the
+	// HTTP server and the signal loop before the final dump, so the process
+	// exits with no goroutine still holding resources.
+	if srv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if err := srv.Shutdown(shCtx); err != nil {
+			srv.Close()
+		}
+		cancel()
+	}
+	wg.Wait()
+	printMetrics(reg)
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			return fmt.Errorf("flushing trace: %w", err)
+		}
+		fmt.Printf("trace spans=%d file=%s\n", tracer.Emitted(), cfg.tracePath)
+	}
 	return nil
+}
+
+// serveMetrics starts the observability HTTP listener: Prometheus text on
+// /metrics, join state on /healthz, the Go profiler under /debug/pprof/.
+// A nil server is returned when addr is empty.
+func serveMetrics(addr string, reg *telemetry.Registry, joined *atomic.Bool) (*http.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if joined.Load() {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		http.Error(w, "joining", http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Printf("metrics listening on %s\n", ln.Addr())
+	return srv, nil
+}
+
+// nodeConfig carries the wiring of one overlay node into setupNode.
+type nodeConfig struct {
+	self      core.NodeID
+	bsID      simnet.NodeID
+	subscribe string
+	pubRate   float64
+	period    simnet.Time
+	want      int
+	metrics   *telemetry.NodeMetrics
+	tracer    *telemetry.Tracer
+	joined    *atomic.Bool
 }
 
 // setupNode builds the Vitis node and schedules the wire-level join dance:
 // send JoinReq to the bootstrap server (retrying every round) until a
 // JoinResp arrives, then enter the overlay with the returned peers and keep
 // the registration fresh with periodic Announces.
-func setupNode(eng *simnet.Engine, host *transport.Host, udp *transport.UDP,
-	self core.NodeID, bsID simnet.NodeID, subscribe string, pubRate float64,
-	period simnet.Time, want int, delivered *atomic.Uint64) error {
-
+func setupNode(eng *simnet.Engine, host *transport.Host, cfg nodeConfig) error {
+	self := cfg.self
 	node := core.NewNode(host, self, core.Params{
-		GossipPeriod:    period,
-		HeartbeatPeriod: period,
+		GossipPeriod:    cfg.period,
+		HeartbeatPeriod: cfg.period,
 	}, core.Hooks{
 		OnDeliver: func(n core.NodeID, topic core.TopicID, ev core.EventID, hops int) {
-			delivered.Add(1)
 			fmt.Printf("DELIVER node=%016x topic=%016x event=%016x:%d hops=%d\n",
 				uint64(n), uint64(topic), uint64(ev.Publisher), ev.Seq, hops)
 		},
+		Metrics: cfg.metrics,
+		Tracer:  cfg.tracer,
 	})
 	var topics []core.TopicID
-	if subscribe != "" {
-		for _, name := range strings.Split(subscribe, ",") {
+	if cfg.subscribe != "" {
+		for _, name := range strings.Split(cfg.subscribe, ",") {
 			tp := core.Topic(strings.TrimSpace(name))
 			node.Subscribe(tp)
 			topics = append(topics, tp)
 		}
 	}
 
-	joined := false
 	// Until the JoinResp arrives, a provisional handler occupies our id;
 	// node.Join replaces it with the node itself.
 	host.Attach(self, simnet.HandlerFunc(func(from simnet.NodeID, msg simnet.Message) {
 		resp, ok := msg.(bootstrap.JoinResp)
-		if !ok || joined {
+		if !ok || cfg.joined.Load() {
 			return
 		}
-		joined = true
+		cfg.joined.Store(true)
 		node.Join(resp.Peers)
 		fmt.Printf("joined with %d peers\n", len(resp.Peers))
 	}))
-	eng.Schedule(0, func() { host.Send(self, bsID, bootstrap.JoinReq{Want: want}) })
-	eng.Every(period, func() bool {
-		if joined {
+	eng.Schedule(0, func() { host.Send(self, cfg.bsID, bootstrap.JoinReq{Want: cfg.want}) })
+	eng.Every(cfg.period, func() bool {
+		if cfg.joined.Load() {
 			return false
 		}
-		host.Send(self, bsID, bootstrap.JoinReq{Want: want})
+		host.Send(self, cfg.bsID, bootstrap.JoinReq{Want: cfg.want})
 		return true
 	})
-	eng.Every(10*period, func() bool {
-		if joined {
-			host.Send(self, bsID, bootstrap.Announce{})
+	eng.Every(10*cfg.period, func() bool {
+		if cfg.joined.Load() {
+			host.Send(self, cfg.bsID, bootstrap.Announce{})
 		}
 		return true
 	})
 
-	if pubRate > 0 && len(topics) > 0 {
-		interval := simnet.Time(1000 / pubRate)
+	if cfg.pubRate > 0 && len(topics) > 0 {
+		interval := simnet.Time(1000 / cfg.pubRate)
 		if interval < 1 {
 			interval = 1
 		}
 		eng.Every(interval, func() bool {
-			if joined {
+			if cfg.joined.Load() {
 				for _, tp := range topics {
 					node.Publish(tp)
 				}
@@ -184,8 +324,8 @@ func setupNode(eng *simnet.Engine, host *transport.Host, udp *transport.UDP,
 	return nil
 }
 
-// metricsLoop dumps metrics on SIGUSR1 until ctx ends.
-func metricsLoop(ctx context.Context, host *transport.Host, udp *transport.UDP, delivered *atomic.Uint64) {
+// sigusrLoop dumps the metric registry on SIGUSR1 until ctx ends.
+func sigusrLoop(ctx context.Context, reg *telemetry.Registry) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGUSR1)
 	defer signal.Stop(ch)
@@ -194,17 +334,16 @@ func metricsLoop(ctx context.Context, host *transport.Host, udp *transport.UDP, 
 		case <-ctx.Done():
 			return
 		case <-ch:
-			printMetrics(host, udp, delivered)
+			printMetrics(reg)
 		}
 	}
 }
 
-// printMetrics writes one parseable METRIC line per counter. Only atomic
-// counters are read here: this runs off the driver goroutine.
-func printMetrics(host *transport.Host, udp *transport.UDP, delivered *atomic.Uint64) {
-	h, u := host.Counters(), udp.Counters()
-	fmt.Printf("METRIC delivered=%d sent=%d received=%d send_errors=%d inbox_drops=%d\n",
-		delivered.Load(), h.Sent, h.Received, h.SendErrors, h.InboxDrops)
-	fmt.Printf("METRIC tx_frames=%d tx_dropped=%d tx_pending=%d tx_errors=%d rx_datagrams=%d rx_frames=%d rx_errors=%d peers=%d\n",
-		u.TxFrames, u.TxDropped, u.TxPending, u.TxErrors, u.RxDatagrams, u.RxFrames, u.RxErrors, u.KnownPeers)
+// printMetrics writes one parseable METRIC line per registered sample. Only
+// atomic instruments and scrape functions are read: safe off the driver
+// goroutine.
+func printMetrics(reg *telemetry.Registry) {
+	for _, s := range reg.Snapshot() {
+		fmt.Printf("METRIC %s %s\n", s.Name, strconv.FormatFloat(s.Value, 'g', -1, 64))
+	}
 }

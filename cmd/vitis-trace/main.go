@@ -1,15 +1,18 @@
 // Command vitis-trace generates and inspects the workloads behind the
-// experiments: synthetic subscription patterns, Twitter-like follower
-// graphs, and Skype-like churn traces.
+// experiments — synthetic subscription patterns, Twitter-like follower
+// graphs, Skype-like churn traces — and reconstructs propagation trees from
+// span files recorded by vitis-node -trace.
 //
 //	vitis-trace subs -pattern high -nodes 512
 //	vitis-trace twitter -users 4096 -sample 512
 //	vitis-trace churn -nodes 256 -duration 600
+//	vitis-trace spans -in pub.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -19,6 +22,7 @@ import (
 	"vitis/internal/overlay"
 	"vitis/internal/simnet"
 	"vitis/internal/stats"
+	"vitis/internal/telemetry"
 	"vitis/internal/workload"
 )
 
@@ -35,6 +39,8 @@ func main() {
 		churnCmd(os.Args[2:])
 	case "overlay":
 		overlayCmd(os.Args[2:])
+	case "spans":
+		spansCmd(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "vitis-trace: unknown subcommand %q\n", os.Args[1])
 		usage()
@@ -42,8 +48,84 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vitis-trace {subs|twitter|churn|overlay} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: vitis-trace {subs|twitter|churn|overlay|spans} [flags]")
 	os.Exit(2)
+}
+
+// spansCmd reconstructs per-event propagation trees and relay-path summaries
+// from a hop-level JSONL span file (vitis-node -trace, or a tracer wired
+// into a simulation).
+func spansCmd(args []string) {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	in := fs.String("in", "", "JSONL span file (default: stdin)")
+	trees := fs.Int("trees", 0, "render at most this many propagation trees (0 = all)")
+	parseFlags(fs, args)
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	if err := runSpans(r, os.Stdout, *trees); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runSpans is the testable core of the spans subcommand.
+func runSpans(r io.Reader, w io.Writer, maxTrees int) error {
+	spans, err := telemetry.ReadSpans(r)
+	if err != nil {
+		return err
+	}
+	trace := telemetry.Analyze(spans)
+
+	// Aggregate delivery hops across all events, with the simulator's
+	// convention (0-hop self-deliveries excluded).
+	var hopSum, hopCount, deliveries int
+	for _, s := range trace.Spans {
+		if s.Kind == telemetry.KindDeliver {
+			deliveries++
+			if s.Hops > 0 {
+				hopSum += s.Hops
+				hopCount++
+			}
+		}
+	}
+	avg := 0.0
+	if hopCount > 0 {
+		avg = float64(hopSum) / float64(hopCount)
+	}
+	fmt.Fprintf(w, "spans      %d\n", len(trace.Spans))
+	fmt.Fprintf(w, "events     %d\n", len(trace.Events))
+	fmt.Fprintf(w, "deliveries %d (avg %.2f hops)\n", deliveries, avg)
+	fmt.Fprintf(w, "relays     %d\n", len(trace.Relays))
+
+	for i, et := range trace.Events {
+		if maxTrees > 0 && i == maxTrees {
+			fmt.Fprintf(w, "... %d more events\n", len(trace.Events)-i)
+			break
+		}
+		fmt.Fprintln(w)
+		et.Render(w)
+	}
+	if len(trace.Relays) > 0 {
+		fmt.Fprintln(w)
+		for _, rp := range trace.Relays {
+			status := fmt.Sprintf("rendezvous=%016x", rp.Rendezvous)
+			if rp.Refused {
+				status = "refused (TTL exhausted)"
+			}
+			fmt.Fprintf(w, "relay topic=%016x origin=%016x hops=%d %s\n",
+				rp.Topic, rp.Origin, rp.Hops, status)
+		}
+	}
+	return nil
 }
 
 // parseFlags parses a subcommand's flags and rejects leftover positional

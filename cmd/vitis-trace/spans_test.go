@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vitis/internal/telemetry"
+)
+
+// TestRunSpansReconstructsTree feeds the spans subcommand a trace recorded
+// through the real tracer encoder — one event propagating over two hops plus
+// a relay-path lookup — and checks the rendered propagation tree.
+func TestRunSpansReconstructsTree(t *testing.T) {
+	var rec bytes.Buffer
+	var now int64
+	tr := telemetry.NewTracer(&rec, func() int64 { now++; return now })
+
+	// Node 0xa publishes; 0xb and 0xc receive at hop 1, 0xd at hop 2 via
+	// 0xb, and 0xc sees one duplicate.
+	const topic, pub = 0x77, 0xa
+	tr.Emit(telemetry.SpanEvent{Kind: telemetry.KindPublish, Node: pub, Topic: topic, Pub: pub, Seq: 3})
+	tr.Emit(telemetry.SpanEvent{Kind: telemetry.KindDeliver, Node: pub, Topic: topic, Pub: pub, Seq: 3})
+	for _, n := range []uint64{0xb, 0xc} {
+		tr.Emit(telemetry.SpanEvent{Kind: telemetry.KindRecv, Node: n, Peer: pub, Topic: topic, Pub: pub, Seq: 3, Hops: 1})
+		tr.Emit(telemetry.SpanEvent{Kind: telemetry.KindDeliver, Node: n, Topic: topic, Pub: pub, Seq: 3, Hops: 1})
+	}
+	tr.Emit(telemetry.SpanEvent{Kind: telemetry.KindRecv, Node: 0xd, Peer: 0xb, Topic: topic, Pub: pub, Seq: 3, Hops: 2})
+	tr.Emit(telemetry.SpanEvent{Kind: telemetry.KindDeliver, Node: 0xd, Topic: topic, Pub: pub, Seq: 3, Hops: 2})
+	tr.Emit(telemetry.SpanEvent{Kind: telemetry.KindRecv, Node: 0xc, Peer: 0xb, Topic: topic, Pub: pub, Seq: 3, Hops: 2, Flag: true})
+
+	// A relay lookup from gateway 0xb that lands rendezvous duty on 0xe.
+	tr.Emit(telemetry.SpanEvent{Kind: telemetry.KindRelayLookup, Node: 0xb, Topic: topic, Pub: 0xb, TTL: 8})
+	tr.Emit(telemetry.SpanEvent{Kind: telemetry.KindRelayHop, Node: 0xb, Peer: 0xe, Topic: topic, Pub: 0xb, TTL: 7})
+	tr.Emit(telemetry.SpanEvent{Kind: telemetry.KindRelayRdv, Node: 0xe, Topic: topic, Pub: 0xb})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := runSpans(&rec, &out, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"events     1",
+		"deliveries 4 (avg 1.33 hops)",
+		"event 000000000000000a:3 topic 0000000000000077",
+		"receipts=3 duplicates=1 deliveries=4 max_hops=2 avg_hops=1.33",
+		"└─ 000000000000000d (2 hops)", // grafted under 0xb, the last hop-1 child
+		"relay topic=0000000000000077 origin=000000000000000b hops=1 rendezvous=000000000000000e",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The two-hop node must be indented under its hop-1 parent, i.e. the
+	// tree really is multi-level, not a flat fan-out from the root.
+	var parentLine, childLine string
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "000000000000000b (1 hop)") {
+			parentLine = line
+		}
+		if strings.Contains(line, "000000000000000d (2 hops)") {
+			childLine = line
+		}
+	}
+	if parentLine == "" || childLine == "" {
+		t.Fatalf("tree lines missing:\n%s", got)
+	}
+	if indent(childLine) <= indent(parentLine) {
+		t.Errorf("hop-2 node not nested under hop-1 parent:\n%s", got)
+	}
+}
+
+func indent(line string) int {
+	for i, r := range line {
+		if r != ' ' && r != '│' {
+			return i
+		}
+	}
+	return len(line)
+}
+
+// TestRunSpansRejectsGarbage pins the loud-failure contract for truncated or
+// corrupt span files.
+func TestRunSpansRejectsGarbage(t *testing.T) {
+	var out bytes.Buffer
+	err := runSpans(strings.NewReader("{\"ts\":1,\"kind\":\"publish\",\"node\":1}\n{oops\n"), &out, 0)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want a line-2 parse error", err)
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"vitis/internal/telemetry"
+)
 
 // seenSet deduplicates events with bounded memory: membership is checked
 // against two generations and inserts go to the current one; rotation drops
@@ -37,8 +41,20 @@ func (n *Node) Publish(t TopicID) EventID {
 	ev := EventID{Publisher: n.id, Seq: n.pubSeq}
 	n.pubSeq++
 	n.seen.add(ev)
-	if n.subs[t] && n.hooks.OnDeliver != nil {
-		n.hooks.OnDeliver(n.id, t, ev, 0)
+	n.tel.Published.Inc()
+	n.tracer.Emit(telemetry.SpanEvent{
+		Kind: telemetry.KindPublish, Node: uint64(n.id),
+		Topic: uint64(t), Pub: uint64(ev.Publisher), Seq: ev.Seq,
+	})
+	if n.subs[t] {
+		n.tel.Deliveries.Inc()
+		n.tracer.Emit(telemetry.SpanEvent{
+			Kind: telemetry.KindDeliver, Node: uint64(n.id),
+			Topic: uint64(t), Pub: uint64(ev.Publisher), Seq: ev.Seq,
+		})
+		if n.hooks.OnDeliver != nil {
+			n.hooks.OnDeliver(n.id, t, ev, 0)
+		}
 	}
 	n.forwardData(t, ev, 0, n.id, false)
 	return ev
@@ -48,15 +64,36 @@ func (n *Node) Publish(t TopicID) EventID {
 // the traffic, deduplicate, deliver if subscribed, pull the payload if one
 // exists, and keep forwarding.
 func (n *Node) handleNotification(from NodeID, m Notification) {
-	if n.hooks.OnNotification != nil {
-		n.hooks.OnNotification(n.id, m.Topic, n.subs[m.Topic])
+	interested := n.subs[m.Topic]
+	n.tel.Notifications.Inc()
+	if !interested {
+		n.tel.Uninterested.Inc()
 	}
-	if n.seen.has(m.Event) {
+	if n.hooks.OnNotification != nil {
+		n.hooks.OnNotification(n.id, m.Topic, interested)
+	}
+	dup := n.seen.has(m.Event)
+	n.tracer.Emit(telemetry.SpanEvent{
+		Kind: telemetry.KindRecv, Node: uint64(n.id), Peer: uint64(from),
+		Topic: uint64(m.Topic), Pub: uint64(m.Event.Publisher), Seq: m.Event.Seq,
+		Hops: m.Hops, Flag: dup,
+	})
+	if dup {
+		n.tel.Duplicates.Inc()
 		return
 	}
 	n.seen.add(m.Event)
-	if n.subs[m.Topic] && n.hooks.OnDeliver != nil {
-		n.hooks.OnDeliver(n.id, m.Topic, m.Event, m.Hops)
+	if interested {
+		n.tel.Deliveries.Inc()
+		n.tel.DeliveryHops.Observe(float64(m.Hops))
+		n.tracer.Emit(telemetry.SpanEvent{
+			Kind: telemetry.KindDeliver, Node: uint64(n.id), Peer: uint64(from),
+			Topic: uint64(m.Topic), Pub: uint64(m.Event.Publisher), Seq: m.Event.Seq,
+			Hops: m.Hops,
+		})
+		if n.hooks.OnDeliver != nil {
+			n.hooks.OnDeliver(n.id, m.Topic, m.Event, m.Hops)
+		}
 	}
 	if m.HasData {
 		// Every receiver pulls — relay nodes included, since their own
@@ -98,8 +135,13 @@ func (n *Node) forwardData(t TopicID, ev EventID, hops int, exclude NodeID, hasD
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	n.tel.Forwards.Add(uint64(len(ids)))
 	for _, id := range ids {
 		n.net.Send(n.id, id, Notification{Topic: t, Event: ev, Hops: hops + 1, HasData: hasData})
+		n.tracer.Emit(telemetry.SpanEvent{
+			Kind: telemetry.KindForward, Node: uint64(n.id), Peer: uint64(id),
+			Topic: uint64(t), Pub: uint64(ev.Publisher), Seq: ev.Seq, Hops: hops,
+		})
 	}
 }
 

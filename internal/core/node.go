@@ -7,8 +7,14 @@ import (
 	"vitis/internal/idspace"
 	"vitis/internal/sampling"
 	"vitis/internal/simnet"
+	"vitis/internal/telemetry"
 	"vitis/internal/tman"
 )
+
+// disabledMetrics is the shared all-nil bundle used when hooks carry no
+// metrics: every observation through it is a nil-receiver no-op, so the many
+// nodes of a simulation share one allocation and pay one branch per event.
+var disabledMetrics = &telemetry.NodeMetrics{}
 
 // Node is one Vitis participant. It is single-threaded by construction: all
 // of its methods run inside simulator events, so no locking is needed.
@@ -19,6 +25,8 @@ type Node struct {
 	params Params
 	rng    *rand.Rand
 	hooks  Hooks
+	tel    *telemetry.NodeMetrics
+	tracer *telemetry.Tracer
 
 	subs map[TopicID]bool
 	rate func(TopicID) float64 // nil = uniform
@@ -97,6 +105,11 @@ func NewNode(net simnet.Net, id NodeID, params Params, hooks Hooks) *Node {
 		pullWaiters: make(map[EventID][]NodeID),
 		wantPayload: make(map[EventID]bool),
 	}
+	n.tel = hooks.Metrics
+	if n.tel == nil {
+		n.tel = disabledMetrics
+	}
+	n.tracer = hooks.Tracer
 	n.rng = net.Engine().DeriveRNG(int64(id))
 	return n
 }
@@ -146,7 +159,11 @@ func (n *Node) Join(bootstrap []NodeID) {
 	n.net.Attach(n.id, simnet.HandlerFunc(n.dispatch))
 
 	n.sampler = sampling.New(n.net, n.id,
-		sampling.Config{ViewSize: n.params.SamplerViewSize, Period: n.params.GossipPeriod},
+		sampling.Config{
+			ViewSize: n.params.SamplerViewSize,
+			Period:   n.params.GossipPeriod,
+			Metrics:  &n.tel.Sampler,
+		},
 		bootstrap, n.rng)
 
 	bootDesc := make([]tman.Descriptor, 0, len(bootstrap))
@@ -166,6 +183,7 @@ func (n *Node) Join(bootstrap []NodeID) {
 			return out
 		},
 		SelectNeighbors: n.selectNeighbors,
+		Metrics:         &n.tel.TMan,
 	}, bootDesc, n.rng)
 
 	n.sampler.Start()
@@ -237,9 +255,11 @@ func (n *Node) heartbeat() {
 			// Tombstone: the dead descriptor will keep arriving in
 			// gossip buffers for a while; refuse to re-select it.
 			n.suspects[d.ID] = now + 3*simnet.Time(n.params.StaleAge)*n.params.HeartbeatPeriod
+			n.tel.NeighborsEvicted.Inc()
 			continue
 		}
 		n.net.Send(n.id, d.ID, ProfileMsg{Profile: profile})
+		n.tel.Heartbeats.Inc()
 	}
 	// Drop age entries for nodes no longer in the table.
 	for id := range n.ages {
@@ -258,6 +278,35 @@ func (n *Node) heartbeat() {
 		n.seen.rotate()
 		n.evictPullState()
 	}
+	n.updateGauges(now)
+}
+
+// updateGauges refreshes the node's state gauges once per heartbeat. With
+// telemetry disabled every Set is a nil-receiver no-op.
+func (n *Node) updateGauges(now simnet.Time) {
+	n.tel.RoutingTableSize.Set(int64(len(n.xchg.RT())))
+	fresh := 0
+	for _, exp := range n.reverse {
+		if exp > now {
+			fresh++
+		}
+	}
+	n.tel.ReverseNeighbors.Set(int64(fresh))
+	n.tel.SeenEvents.Set(int64(n.seen.len()))
+	n.tel.PullBacklog.Set(int64(n.PullBookkeepingSize()))
+	gw, relays := 0, 0
+	for _, p := range n.proposals {
+		if p.GW == n.id {
+			gw++
+		}
+	}
+	for _, rs := range n.relays {
+		if !rs.expired(now) {
+			relays++
+		}
+	}
+	n.tel.GatewayTopics.Set(int64(gw))
+	n.tel.RelayTopics.Set(int64(relays))
 }
 
 // seenRotateRounds is how many heartbeat rounds one seen-set generation
@@ -268,6 +317,7 @@ const seenRotateRounds = 30
 // handleProfile is Algorithm 7 plus the reactive reply that makes liveness
 // detection symmetric for one-directional routing-table edges.
 func (n *Node) handleProfile(from NodeID, m ProfileMsg) {
+	n.tel.Profiles.Inc()
 	delete(n.suspects, from) // it speaks, so it lives
 	n.profiles[from] = m.Profile
 	n.reverse[from] = n.eng.Now() + simnet.Time(n.params.StaleAge)*n.params.HeartbeatPeriod
@@ -335,6 +385,13 @@ func (n *Node) updateProposals() {
 			if next.GW == prop.GW && next.Hops+1 < prop.Hops {
 				prop = Proposal{GW: next.GW, Parent: nb, Hops: next.Hops + 1}
 			}
+		}
+		if old, had := n.proposals[t]; !had || old.GW != prop.GW {
+			n.tel.GatewayChanges.Inc()
+			n.tracer.Emit(telemetry.SpanEvent{
+				Kind: telemetry.KindGateway, Node: uint64(n.id),
+				Peer: uint64(prop.GW), Topic: uint64(t), Hops: prop.Hops,
+			})
 		}
 		n.proposals[t] = prop
 		if prop.GW == n.id {

@@ -22,6 +22,7 @@ package core
 import (
 	"vitis/internal/idspace"
 	"vitis/internal/simnet"
+	"vitis/internal/telemetry"
 )
 
 // NodeID and TopicID live in the same identifier space (§III: "Node ids and
@@ -145,4 +146,11 @@ type Hooks struct {
 	// OnPayload fires on a subscribed node when the pulled payload of a
 	// PublishData event arrives (§III-C's pull phase).
 	OnPayload func(node NodeID, ev EventID, payload []byte)
+	// Metrics is the node's telemetry bundle. Nil means disabled: the node
+	// substitutes an all-nil bundle whose observations are one-branch
+	// no-ops, so simulations pay nothing for the instrumentation.
+	Metrics *telemetry.NodeMetrics
+	// Tracer records hop-level span events (publishes, receipts, relay
+	// lookup hops, pulls) as JSONL. Nil disables tracing entirely.
+	Tracer *telemetry.Tracer
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"vitis/internal/simnet"
+	"vitis/internal/telemetry"
 )
 
 // Event payload transfer (§III-C): "A node that receives a notification,
@@ -52,7 +53,17 @@ func (n *Node) PublishData(t TopicID, payload []byte) EventID {
 	n.pubSeq++
 	n.seen.add(ev)
 	n.payloads[ev] = payload
+	n.tel.Published.Inc()
+	n.tracer.Emit(telemetry.SpanEvent{
+		Kind: telemetry.KindPublish, Node: uint64(n.id),
+		Topic: uint64(t), Pub: uint64(ev.Publisher), Seq: ev.Seq,
+	})
 	if n.subs[t] {
+		n.tel.Deliveries.Inc()
+		n.tracer.Emit(telemetry.SpanEvent{
+			Kind: telemetry.KindDeliver, Node: uint64(n.id),
+			Topic: uint64(t), Pub: uint64(ev.Publisher), Seq: ev.Seq,
+		})
 		if n.hooks.OnDeliver != nil {
 			n.hooks.OnDeliver(n.id, t, ev, 0)
 		}
@@ -92,6 +103,11 @@ func (n *Node) startPull(from NodeID, ev EventID) {
 		attempts: 1,
 		deadline: n.eng.Now() + n.params.PullRetryPeriod,
 	}
+	n.tel.Pulls.Inc()
+	n.tracer.Emit(telemetry.SpanEvent{
+		Kind: telemetry.KindPullReq, Node: uint64(n.id), Peer: uint64(from),
+		Pub: uint64(ev.Publisher), Seq: ev.Seq,
+	})
 	n.net.Send(n.id, from, PullReq{Event: ev})
 }
 
@@ -125,10 +141,16 @@ func (n *Node) retryPulls(now simnet.Time) {
 			delete(n.pulling, ev)
 			delete(n.wantPayload, ev)
 			delete(n.pullWaiters, ev)
+			n.tel.PullsAbandoned.Inc()
 			continue
 		}
 		ps.attempts++
 		ps.deadline = now + n.params.PullRetryPeriod
+		n.tel.PullRetries.Inc()
+		n.tracer.Emit(telemetry.SpanEvent{
+			Kind: telemetry.KindPullRetry, Node: uint64(n.id), Peer: uint64(ps.from),
+			Pub: uint64(ev.Publisher), Seq: ev.Seq, Hops: ps.attempts,
+		})
 		n.net.Send(n.id, ps.from, PullReq{Event: ev})
 	}
 }
@@ -177,12 +199,17 @@ func (n *Node) handlePullReq(from NodeID, m PullReq) {
 	n.pullWaiters[m.Event] = append(n.pullWaiters[m.Event], from)
 }
 
-func (n *Node) handlePullResp(_ NodeID, m PullResp) {
+func (n *Node) handlePullResp(from NodeID, m PullResp) {
 	if _, have := n.payloads[m.Event]; have {
 		return
 	}
 	n.payloads[m.Event] = m.Payload
 	delete(n.pulling, m.Event)
+	n.tel.PayloadBytes.Add(uint64(len(m.Payload)))
+	n.tracer.Emit(telemetry.SpanEvent{
+		Kind: telemetry.KindPullResp, Node: uint64(n.id), Peer: uint64(from),
+		Pub: uint64(m.Event.Publisher), Seq: m.Event.Seq,
+	})
 	if n.hooks.OnPayload != nil && n.wantPayload[m.Event] {
 		n.hooks.OnPayload(n.id, m.Event, m.Payload)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"vitis/internal/idspace"
 	"vitis/internal/simnet"
+	"vitis/internal/telemetry"
 )
 
 // requestRelay starts (or refreshes) the relay path from this gateway toward
@@ -18,6 +19,13 @@ func (n *Node) requestRelay(t TopicID) {
 	if !ok {
 		// No neighbor is closer to hash(t) than we are: the gateway
 		// itself is the rendezvous node for its reachable region.
+		if !rs.rendezvous || rs.rendezExpiry <= now {
+			n.tel.RendezvousTaken.Inc()
+			n.tracer.Emit(telemetry.SpanEvent{
+				Kind: telemetry.KindRelayRdv, Node: uint64(n.id),
+				Topic: uint64(t), Pub: uint64(n.id),
+			})
+		}
 		rs.rendezvous = true
 		rs.rendezExpiry = now + n.params.RelayLease
 		return
@@ -25,6 +33,11 @@ func (n *Node) requestRelay(t TopicID) {
 	rs.hasParent = true
 	rs.parent = next
 	rs.parentExpiry = now + n.params.RelayLease
+	n.tel.RelayLookups.Inc()
+	n.tracer.Emit(telemetry.SpanEvent{
+		Kind: telemetry.KindRelayLookup, Node: uint64(n.id), Peer: uint64(next),
+		Topic: uint64(t), Pub: uint64(n.id), TTL: n.params.LookupTTL,
+	})
 	n.net.Send(n.id, next, RelayMsg{Topic: t, Origin: n.id, TTL: n.params.LookupTTL})
 }
 
@@ -39,6 +52,11 @@ func (n *Node) handleRelay(from NodeID, m RelayMsg) {
 		// registration — the upstream hops' leases expire on their own —
 		// and count the failure so the truncation is observable.
 		n.relayTTLExhausted++
+		n.tel.RelayRefused.Inc()
+		n.tracer.Emit(telemetry.SpanEvent{
+			Kind: telemetry.KindRelayRefuse, Node: uint64(n.id), Peer: uint64(from),
+			Topic: uint64(m.Topic), Pub: uint64(m.Origin),
+		})
 		return
 	}
 	now := n.eng.Now()
@@ -50,6 +68,13 @@ func (n *Node) handleRelay(from NodeID, m RelayMsg) {
 
 	next, ok := n.closestNeighborTo(m.Topic)
 	if !ok {
+		if !rs.rendezvous || rs.rendezExpiry <= now {
+			n.tel.RendezvousTaken.Inc()
+			n.tracer.Emit(telemetry.SpanEvent{
+				Kind: telemetry.KindRelayRdv, Node: uint64(n.id),
+				Topic: uint64(m.Topic), Pub: uint64(m.Origin),
+			})
+		}
 		rs.rendezvous = true
 		rs.rendezExpiry = now + n.params.RelayLease
 		return
@@ -57,6 +82,11 @@ func (n *Node) handleRelay(from NodeID, m RelayMsg) {
 	rs.hasParent = true
 	rs.parent = next
 	rs.parentExpiry = now + n.params.RelayLease
+	n.tel.RelayHops.Inc()
+	n.tracer.Emit(telemetry.SpanEvent{
+		Kind: telemetry.KindRelayHop, Node: uint64(n.id), Peer: uint64(next),
+		Topic: uint64(m.Topic), Pub: uint64(m.Origin), TTL: m.TTL - 1,
+	})
 	n.net.Send(n.id, next, RelayMsg{Topic: m.Topic, Origin: m.Origin, TTL: m.TTL - 1})
 }
 

@@ -190,3 +190,102 @@ func TestSeriesDisabledWithoutBucket(t *testing.T) {
 		t.Error("series should be nil without a bucket width")
 	}
 }
+
+// TestSeriesBucketBoundaries pins the half-open bucket convention
+// [k*bucket, (k+1)*bucket): an event published exactly on a boundary belongs
+// to the bucket starting there, never the one ending there.
+func TestSeriesBucketBoundaries(t *testing.T) {
+	now := simnet.Time(0)
+	c := NewWithSeries(100, func() simnet.Time { return now })
+	c.RecordPublish(evKey{1}, 7, 99, []NodeID{1})  // last instant of bucket 0
+	c.RecordPublish(evKey{2}, 7, 100, []NodeID{2}) // first instant of bucket 1
+	c.Deliver(evKey{1}, 1, 1)
+	// Event 2 is never delivered: its miss must be charged to bucket 1.
+	pts := c.HitRatioSeries()
+	if len(pts) != 2 {
+		t.Fatalf("series = %v, want 2 buckets", pts)
+	}
+	if pts[0].Start != 0 || pts[0].Value != 1 {
+		t.Errorf("bucket 0 = %+v, want full hit ratio at start 0", pts[0])
+	}
+	if pts[1].Start != 100 || pts[1].Value != 0 {
+		t.Errorf("bucket 1 = %+v, want zero hit ratio at start 100", pts[1])
+	}
+
+	// Traffic obeys the same convention through the now function.
+	now = 99
+	c.Notification(1, true)
+	now = 100
+	c.Notification(1, false)
+	ov := c.OverheadSeries()
+	if len(ov) != 2 || ov[0].Value != 0 || ov[1].Value != 1 {
+		t.Errorf("overhead series = %v, want bucket split at the boundary", ov)
+	}
+}
+
+// TestSeriesSkipsEmptyBuckets: quiet periods produce no points at all —
+// consumers (the Fig. 12 table) align buckets by Start and render gaps as
+// "-", so zero-filling here would misreport silence as a 0 measurement.
+func TestSeriesSkipsEmptyBuckets(t *testing.T) {
+	c := NewWithSeries(100, func() simnet.Time { return 0 })
+	c.RecordPublish(evKey{1}, 7, 50, []NodeID{1})  // bucket 0
+	c.RecordPublish(evKey{2}, 7, 450, []NodeID{2}) // bucket 4
+	c.Deliver(evKey{1}, 1, 1)
+	c.Deliver(evKey{2}, 2, 3)
+	for _, pts := range [][]SeriesPoint{c.HitRatioSeries(), c.DelaySeries()} {
+		if len(pts) != 2 {
+			t.Fatalf("series = %v, want exactly the 2 active buckets", pts)
+		}
+		if pts[0].Start != 0 || pts[1].Start != 400 {
+			t.Errorf("series starts = %v, %v; want 0 and 400", pts[0].Start, pts[1].Start)
+		}
+	}
+}
+
+// TestSeriesChurnDip exercises the collector exactly as the Fig. 12 churn
+// experiment does — NewWithSeries(bucket, eng.Now) with publishes spread over
+// simulated time — and checks that a transient delivery failure shows up in
+// its own bucket only, with delays bucketed by publish instant (not delivery
+// instant) so late deliveries of pre-churn events do not smear.
+func TestSeriesChurnDip(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	const bucket = 50 * simnet.Second
+	c := NewWithSeries(bucket, eng.Now)
+
+	// Three epochs: healthy, churn (half the subscribers miss), recovered.
+	ev := 0
+	publish := func(lost bool, hops int) {
+		ev++
+		k := evKey{ev}
+		c.RecordPublish(k, 7, eng.Now(), []NodeID{1, 2})
+		c.Deliver(k, 1, hops)
+		if !lost {
+			c.Deliver(k, 2, hops)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		eng.Schedule(simnet.Time(i)*10*simnet.Second, func() { publish(false, 2) })
+		eng.Schedule(bucket+simnet.Time(i)*10*simnet.Second, func() { publish(true, 5) })
+		eng.Schedule(2*bucket+simnet.Time(i)*10*simnet.Second, func() { publish(false, 2) })
+	}
+	eng.RunUntil(3 * bucket)
+
+	hits := c.HitRatioSeries()
+	if len(hits) != 3 {
+		t.Fatalf("hit series = %v, want 3 buckets", hits)
+	}
+	for i, want := range []float64{1, 0.5, 1} {
+		if hits[i].Start != simnet.Time(i)*bucket || hits[i].Value != want {
+			t.Errorf("hit bucket %d = %+v, want %g at %v", i, hits[i], want, simnet.Time(i)*bucket)
+		}
+	}
+	delays := c.DelaySeries()
+	if len(delays) != 3 {
+		t.Fatalf("delay series = %v, want 3 buckets", delays)
+	}
+	for i, want := range []float64{2, 5, 2} {
+		if delays[i].Value != want {
+			t.Errorf("delay bucket %d = %+v, want %g", i, delays[i], want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"vitis/internal/simnet"
+	"vitis/internal/telemetry"
 )
 
 // Cyclon is an alternative peer-sampling implementation (Voulgaris et al.):
@@ -32,9 +33,14 @@ type CyclonConfig struct {
 	ViewSize    int         // default 20
 	ShuffleSize int         // entries exchanged per round, default 5
 	Period      simnet.Time // default 1 s
+	// Metrics instruments shuffle rounds and view staleness; nil disables.
+	Metrics *telemetry.GossipMetrics
 }
 
 func (c *CyclonConfig) setDefaults() {
+	if c.Metrics == nil {
+		c.Metrics = &telemetry.GossipMetrics{}
+	}
 	if c.ViewSize == 0 {
 		c.ViewSize = 20
 	}
@@ -95,14 +101,17 @@ func (c *Cyclon) tick() {
 		return
 	}
 	// Age everything and pick the oldest peer as shuffle partner.
-	oldest := 0
+	oldest, ageSum := 0, 0
 	for i := range c.view {
 		c.view[i].Age++
+		ageSum += c.view[i].Age
 		if c.view[i].Age > c.view[oldest].Age ||
 			(c.view[i].Age == c.view[oldest].Age && c.view[i].ID < c.view[oldest].ID) {
 			oldest = i
 		}
 	}
+	c.cfg.Metrics.Rounds.Inc()
+	c.cfg.Metrics.ViewAge.Set(int64(ageSum / len(c.view)))
 	partner := c.view[oldest]
 	// Remove the partner from the view (it is being contacted; its slot
 	// will be refilled by the reply).

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"vitis/internal/simnet"
+	"vitis/internal/telemetry"
 )
 
 // Descriptor is one view entry: a node id and its age in gossip rounds.
@@ -28,6 +29,9 @@ type Descriptor struct {
 type Config struct {
 	ViewSize int         // default 20
 	Period   simnet.Time // default 1 simulated second
+	// Metrics instruments the layer's gossip rounds and view staleness.
+	// Nil (or a bundle with nil instruments) disables at no cost.
+	Metrics *telemetry.GossipMetrics
 }
 
 func (c *Config) setDefaults() {
@@ -36,6 +40,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.Period == 0 {
 		c.Period = simnet.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = &telemetry.GossipMetrics{}
 	}
 }
 
@@ -94,9 +101,13 @@ func (s *Service) tick() {
 	if len(s.view) == 0 {
 		return
 	}
+	ageSum := 0
 	for i := range s.view {
 		s.view[i].Age++
+		ageSum += s.view[i].Age
 	}
+	s.cfg.Metrics.Rounds.Inc()
+	s.cfg.Metrics.ViewAge.Set(int64(ageSum / len(s.view)))
 	peer := s.view[s.rng.Intn(len(s.view))].ID
 	s.exchanges++
 	s.net.Send(s.self, peer, Request{View: s.outgoingView()})

@@ -12,6 +12,7 @@ package simnet
 import (
 	"container/heap"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Time is simulated time in milliseconds.
@@ -63,6 +64,11 @@ type Engine struct {
 	pq   eventHeap
 	rng  *rand.Rand
 	seed int64
+
+	// executed counts events run by Step. Atomic because telemetry scrapes
+	// it from outside the engine goroutine (the /metrics handler of a live
+	// node); everything else on the engine stays single-threaded.
+	executed atomic.Uint64
 }
 
 // NewEngine creates an engine whose random stream is seeded with seed.
@@ -127,9 +133,14 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.pq).(event)
 	e.now = ev.at
+	e.executed.Add(1)
 	ev.fn()
 	return true
 }
+
+// EventsExecuted returns how many events the engine has run. Safe to call
+// from any goroutine.
+func (e *Engine) EventsExecuted() uint64 { return e.executed.Load() }
 
 // RunUntil executes events until the clock would pass t; afterwards the
 // clock reads exactly t. Events scheduled at exactly t are executed.

@@ -1,0 +1,68 @@
+package telemetry
+
+import "testing"
+
+// The disabled hot path must be allocation-free: a nil instrument or tracer
+// costs one branch and nothing else. Enforced here with AllocsPerRun (not
+// just reported by benchmarks) so a regression fails the suite.
+
+func TestDisabledHotPathAllocatesNothing(t *testing.T) {
+	bundle := NewNodeMetrics(nil) // all-nil instruments
+	var tr *Tracer
+	if n := testing.AllocsPerRun(1000, func() {
+		bundle.Deliveries.Inc()
+		bundle.Notifications.Add(3)
+		bundle.RoutingTableSize.Set(15)
+		bundle.DeliveryHops.Observe(4)
+		bundle.Sampler.Rounds.Inc()
+		tr.Emit(SpanEvent{Kind: KindRecv, Node: 1, Peer: 2, Topic: 3, Pub: 4, Hops: 5})
+	}); n != 0 {
+		t.Errorf("disabled hot path allocates %v per op, want 0", n)
+	}
+}
+
+func TestEnabledInstrumentsAllocateNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", 1, 2, 4, 8)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(7)
+		h.Observe(3)
+	}); n != 0 {
+		t.Errorf("enabled instruments allocate %v per op, want 0", n)
+	}
+}
+
+func BenchmarkDisabledCounter(b *testing.B) {
+	bundle := NewNodeMetrics(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bundle.Deliveries.Inc()
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkDisabledTracerEmit(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(SpanEvent{Kind: KindRecv, Node: 1, Peer: 2, Topic: 3, Pub: 4, Hops: 5})
+	}
+}
+
+func BenchmarkEnabledHistogram(b *testing.B) {
+	h := NewHistogram(1, 2, 4, 8, 16, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 31))
+	}
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets with cumulative
+// Prometheus semantics. Observe is lock-free and allocation-free: a linear
+// scan over the (small, immutable) bound slice, one atomic add, and a CAS
+// loop for the float sum. All methods are no-ops on a nil receiver.
+type Histogram struct {
+	bounds []float64       // strictly increasing upper bounds; +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, non-cumulative per bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram returns a live histogram with the given strictly increasing
+// upper bucket bounds (an implicit +Inf bucket is appended).
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot returns the bucket bounds and cumulative counts, ending with the
+// +Inf bucket (== Count).
+func (h *Histogram) snapshot() (bounds []float64, cumulative []uint64) {
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return h.bounds, cumulative
+}

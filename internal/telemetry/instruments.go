@@ -1,0 +1,179 @@
+package telemetry
+
+// Instrument bundles: the fixed instrument sets of the Vitis subsystems,
+// so simulation and real processes expose the same counters under the same
+// names. Bundles built from a nil registry have all-nil instruments —
+// every observation is a nil-safe no-op — while the zero value of a bundle
+// struct is likewise fully disabled.
+
+// GossipMetrics instruments one gossip layer (peer sampling or T-Man).
+type GossipMetrics struct {
+	// Rounds counts gossip rounds this layer initiated.
+	Rounds *Counter
+	// ViewAge is the mean descriptor age of the layer's view in rounds —
+	// the staleness of its membership knowledge. Unused by layers whose
+	// descriptors carry no age (T-Man).
+	ViewAge *Gauge
+}
+
+// NodeMetrics is the instrument set of one core.Node. One node per bundle:
+// gauges are overwritten, not aggregated.
+type NodeMetrics struct {
+	// Dissemination (§III-C).
+	Published     *Counter   // events published locally
+	Deliveries    *Counter   // first receipt of a subscribed event
+	Notifications *Counter   // every data-plane notification received
+	Uninterested  *Counter   // notifications for unsubscribed topics (relay overhead)
+	Duplicates    *Counter   // notifications cut by the seen-set
+	Forwards      *Counter   // notifications sent onward
+	DeliveryHops  *Histogram // overlay hops of each delivery
+	SeenEvents    *Gauge     // live seen-set entries
+	// Relay paths and rendezvous routing (§III-B, Alg. 5).
+	RelayLookups    *Counter // greedy lookups initiated as gateway
+	RelayHops       *Counter // relay lookup hops forwarded through this node
+	RelayRefused    *Counter // lookups refused here with an exhausted TTL
+	RendezvousTaken *Counter // times this node assumed rendezvous duty
+	GatewayChanges  *Counter // gateway proposal adoptions that changed the proposal
+	GatewayTopics   *Gauge   // topics this node currently believes itself gateway for
+	RelayTopics     *Gauge   // topics with live relay soft state
+	// Heartbeats and membership (Alg. 6–7).
+	Heartbeats       *Counter // profile messages sent
+	Profiles         *Counter // profile messages received
+	NeighborsEvicted *Counter // routing-table entries dropped by missed heartbeats
+	RoutingTableSize *Gauge
+	ReverseNeighbors *Gauge
+	// Pull data plane (§III-C).
+	Pulls          *Counter // payload pulls started
+	PullRetries    *Counter
+	PullsAbandoned *Counter
+	PayloadBytes   *Counter // payload bytes received through pulls
+	PullBacklog    *Gauge   // entries across payload/pull bookkeeping maps
+	// Gossip substrates.
+	Sampler GossipMetrics
+	TMan    GossipMetrics
+}
+
+// NewNodeMetrics builds the node instrument bundle. With a nil registry the
+// bundle is fully disabled (all instruments nil).
+func NewNodeMetrics(r *Registry) *NodeMetrics {
+	if r == nil {
+		return &NodeMetrics{}
+	}
+	return &NodeMetrics{
+		Published:     r.Counter("vitis_core_published_total", "Events published by this node."),
+		Deliveries:    r.Counter("vitis_core_deliveries_total", "Subscribed events delivered (first receipt)."),
+		Notifications: r.Counter("vitis_core_notifications_total", "Data-plane notifications received."),
+		Uninterested:  r.Counter("vitis_core_uninterested_notifications_total", "Notifications received for unsubscribed topics (relay overhead)."),
+		Duplicates:    r.Counter("vitis_core_duplicate_notifications_total", "Notifications deduplicated by the seen-set."),
+		Forwards:      r.Counter("vitis_core_forwards_total", "Notifications forwarded to dissemination links."),
+		DeliveryHops: r.Histogram("vitis_core_delivery_hops", "Overlay hop count of delivered events.",
+			1, 2, 3, 4, 6, 8, 12, 16, 24, 32),
+		SeenEvents:       r.Gauge("vitis_core_seen_events", "Events in the dedup seen-set."),
+		RelayLookups:     r.Counter("vitis_core_relay_lookups_total", "Relay-path lookups initiated as gateway."),
+		RelayHops:        r.Counter("vitis_core_relay_hops_total", "Relay lookup hops forwarded through this node."),
+		RelayRefused:     r.Counter("vitis_core_relay_refused_total", "Relay lookups refused with an exhausted TTL."),
+		RendezvousTaken:  r.Counter("vitis_core_rendezvous_taken_total", "Times this node assumed rendezvous duty."),
+		GatewayChanges:   r.Counter("vitis_core_gateway_changes_total", "Gateway proposal changes adopted."),
+		GatewayTopics:    r.Gauge("vitis_core_gateway_topics", "Topics this node currently proposes itself gateway for."),
+		RelayTopics:      r.Gauge("vitis_core_relay_topics", "Topics with live relay soft state."),
+		Heartbeats:       r.Counter("vitis_core_heartbeats_total", "Profile heartbeats sent."),
+		Profiles:         r.Counter("vitis_core_profiles_total", "Profile heartbeats received."),
+		NeighborsEvicted: r.Counter("vitis_core_neighbors_evicted_total", "Routing-table neighbors evicted after missed heartbeats."),
+		RoutingTableSize: r.Gauge("vitis_core_routing_table_size", "Current routing-table entries."),
+		ReverseNeighbors: r.Gauge("vitis_core_reverse_neighbors", "Fresh reverse (one-directional) neighbors."),
+		Pulls:            r.Counter("vitis_core_pulls_total", "Payload pulls started."),
+		PullRetries:      r.Counter("vitis_core_pull_retries_total", "Payload pull retransmissions."),
+		PullsAbandoned:   r.Counter("vitis_core_pulls_abandoned_total", "Payload pulls abandoned after exhausting retries."),
+		PayloadBytes:     r.Counter("vitis_core_payload_bytes_total", "Payload bytes received through pulls."),
+		PullBacklog:      r.Gauge("vitis_core_pull_backlog", "Entries across payload and pull bookkeeping maps."),
+		Sampler: GossipMetrics{
+			Rounds:  r.Counter("vitis_sampling_rounds_total", "Peer-sampling gossip rounds initiated."),
+			ViewAge: r.Gauge("vitis_sampling_view_age", "Mean age of the peer-sampling view in rounds."),
+		},
+		TMan: GossipMetrics{
+			Rounds: r.Counter("vitis_tman_rounds_total", "T-Man view exchange rounds initiated."),
+		},
+	}
+}
+
+// TransportMetrics instruments one wire transport (UDP). Unlike NodeMetrics
+// these are always live — the transport's Counters() API reads them — and a
+// nil registry merely leaves them unregistered.
+type TransportMetrics struct {
+	TxFrames     *Counter // frames queued toward a resolved peer
+	TxDropped    *Counter // datagrams lost to a full peer queue
+	TxPending    *Counter // frames stashed awaiting address resolution
+	TxErrors     *Counter // socket write failures
+	RxDatagrams  *Counter // datagrams parsed successfully
+	RxFrames     *Counter // wire frames delivered upward
+	RxErrors     *Counter // malformed datagrams or frames
+	RxUnroutable *Counter // frames for ids not hosted here
+	KnownPeers   *Gauge   // address-book entries
+	QueueDepth   *Gauge   // datagrams sitting in per-peer send queues
+}
+
+// NewTransportMetrics builds live transport instruments, registered under
+// their canonical names when r is non-nil.
+func NewTransportMetrics(r *Registry) *TransportMetrics {
+	m := &TransportMetrics{
+		TxFrames:     NewCounter(),
+		TxDropped:    NewCounter(),
+		TxPending:    NewCounter(),
+		TxErrors:     NewCounter(),
+		RxDatagrams:  NewCounter(),
+		RxFrames:     NewCounter(),
+		RxErrors:     NewCounter(),
+		RxUnroutable: NewCounter(),
+		KnownPeers:   NewGauge(),
+		QueueDepth:   NewGauge(),
+	}
+	if r != nil {
+		r.CounterFunc("vitis_transport_tx_frames_total", "Wire frames queued toward a resolved peer.", counterFn(m.TxFrames))
+		r.CounterFunc("vitis_transport_tx_dropped_total", "Datagrams lost to a full per-peer send queue.", counterFn(m.TxDropped))
+		r.CounterFunc("vitis_transport_tx_pending_total", "Frames stashed awaiting address resolution.", counterFn(m.TxPending))
+		r.CounterFunc("vitis_transport_tx_errors_total", "Socket write failures.", counterFn(m.TxErrors))
+		r.CounterFunc("vitis_transport_rx_datagrams_total", "Datagrams parsed successfully.", counterFn(m.RxDatagrams))
+		r.CounterFunc("vitis_transport_rx_frames_total", "Wire frames delivered upward.", counterFn(m.RxFrames))
+		r.CounterFunc("vitis_transport_rx_errors_total", "Malformed datagrams or frames received.", counterFn(m.RxErrors))
+		r.CounterFunc("vitis_transport_rx_unroutable_total", "Frames addressed to ids not hosted here.", counterFn(m.RxUnroutable))
+		r.GaugeFunc("vitis_transport_known_peers", "Entries in the epidemic address book.", gaugeFn(m.KnownPeers))
+		r.GaugeFunc("vitis_transport_send_queue_depth", "Datagrams waiting in per-peer send queues.", gaugeFn(m.QueueDepth))
+	}
+	return m
+}
+
+// HostMetrics instruments one transport.Host. Always live, like
+// TransportMetrics.
+type HostMetrics struct {
+	Sent       *Counter // messages accepted by Send
+	Received   *Counter // messages dispatched to a local handler
+	SendErrors *Counter // transport Send failures
+	InboxDrops *Counter // inbound messages lost to a full inbox
+	NoHandler  *Counter // inbound messages for ids not hosted here
+	InboxDepth *Gauge   // messages waiting for the driver
+}
+
+// NewHostMetrics builds live host instruments, registered under their
+// canonical names when r is non-nil.
+func NewHostMetrics(r *Registry) *HostMetrics {
+	m := &HostMetrics{
+		Sent:       NewCounter(),
+		Received:   NewCounter(),
+		SendErrors: NewCounter(),
+		InboxDrops: NewCounter(),
+		NoHandler:  NewCounter(),
+		InboxDepth: NewGauge(),
+	}
+	if r != nil {
+		r.CounterFunc("vitis_host_sent_total", "Messages accepted by the host for sending.", counterFn(m.Sent))
+		r.CounterFunc("vitis_host_received_total", "Messages dispatched to a local handler.", counterFn(m.Received))
+		r.CounterFunc("vitis_host_send_errors_total", "Transport send failures.", counterFn(m.SendErrors))
+		r.CounterFunc("vitis_host_inbox_drops_total", "Inbound messages lost to a full inbox.", counterFn(m.InboxDrops))
+		r.CounterFunc("vitis_host_no_handler_total", "Inbound messages for ids not hosted here.", counterFn(m.NoHandler))
+		r.GaugeFunc("vitis_host_inbox_depth", "Inbound messages waiting for the driver.", gaugeFn(m.InboxDepth))
+	}
+	return m
+}
+
+func counterFn(c *Counter) func() float64 { return func() float64 { return float64(c.Value()) } }
+func gaugeFn(g *Gauge) func() float64     { return func() float64 { return float64(g.Value()) } }

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// fanOutSpans builds the trace of one event flooding 100 → {200, 300},
+// 200 → 400, with one duplicate arriving at 300, plus a relay lookup from
+// gateway 500 that travels two hops and lands rendezvous duty on 700.
+func fanOutSpans() []SpanEvent {
+	ev := func(kind string, node, peer uint64, hops int, flag bool) SpanEvent {
+		return SpanEvent{Kind: kind, Node: node, Peer: peer, Topic: 7, Pub: 100, Hops: hops, Flag: flag}
+	}
+	return []SpanEvent{
+		{Kind: KindPublish, Node: 100, Topic: 7, Pub: 100},
+		{Kind: KindDeliver, Node: 100, Topic: 7, Pub: 100, Hops: 0},
+		ev(KindRecv, 200, 100, 1, false),
+		ev(KindDeliver, 200, 100, 1, false),
+		ev(KindRecv, 300, 100, 1, false),
+		ev(KindRecv, 300, 200, 2, true), // duplicate
+		ev(KindRecv, 400, 200, 2, false),
+		ev(KindDeliver, 400, 200, 2, false),
+		{Kind: KindRelayLookup, Node: 500, Topic: 9, TTL: 64},
+		{Kind: KindRelayHop, Node: 600, Peer: 700, Topic: 9, Pub: 500, TTL: 63},
+		{Kind: KindRelayHop, Node: 700, Peer: 700, Topic: 9, Pub: 500, TTL: 62},
+		{Kind: KindRelayRdv, Node: 700, Topic: 9, Pub: 500},
+	}
+}
+
+func TestAnalyzeBuildsPropagationTree(t *testing.T) {
+	tr := Analyze(fanOutSpans())
+	if len(tr.Events) != 1 {
+		t.Fatalf("events = %d, want 1", len(tr.Events))
+	}
+	et := tr.Events[0]
+	if et.Key != (EventKey{Pub: 100, Seq: 0}) || et.Topic != 7 {
+		t.Errorf("key=%v topic=%d", et.Key, et.Topic)
+	}
+	if et.Receipts != 3 || et.Duplicates != 1 || et.Deliveries != 3 {
+		t.Errorf("receipts=%d dups=%d deliveries=%d", et.Receipts, et.Duplicates, et.Deliveries)
+	}
+	if et.MaxHops != 2 {
+		t.Errorf("max hops = %d, want 2", et.MaxHops)
+	}
+	if got := et.AvgHops(); got != 1.5 { // (1+2)/2, publisher's 0-hop delivery excluded
+		t.Errorf("avg hops = %v, want 1.5", got)
+	}
+	root := et.Root
+	if root == nil || root.ID != 100 || len(root.Children) != 2 {
+		t.Fatalf("root = %+v", root)
+	}
+	// Children sorted by (hops, id): 200 and 300 at hop 1; 400 under 200.
+	if root.Children[0].ID != 200 || root.Children[1].ID != 300 {
+		t.Errorf("children = %d, %d", root.Children[0].ID, root.Children[1].ID)
+	}
+	if len(root.Children[0].Children) != 1 || root.Children[0].Children[0].ID != 400 {
+		t.Errorf("grandchildren = %+v", root.Children[0].Children)
+	}
+}
+
+func TestAnalyzeRelayPaths(t *testing.T) {
+	tr := Analyze(fanOutSpans())
+	if len(tr.Relays) != 1 {
+		t.Fatalf("relays = %+v", tr.Relays)
+	}
+	rp := tr.Relays[0]
+	if rp.Topic != 9 || rp.Origin != 500 || rp.Hops != 2 || rp.Rendezvous != 700 || rp.Refused {
+		t.Errorf("relay path = %+v", rp)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	tr := Analyze(fanOutSpans())
+	var b strings.Builder
+	tr.Events[0].Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"event 0000000000000064:0 topic 0000000000000007",
+		"receipts=3 duplicates=1 deliveries=3 max_hops=2 avg_hops=1.50",
+		"├─ 00000000000000c8 (1 hop)",
+		"│  └─ 0000000000000190 (2 hops)",
+		"└─ 000000000000012c (1 hop)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTreeWithoutPublishSpanRootsAtSender(t *testing.T) {
+	spans := []SpanEvent{
+		{Kind: KindRecv, Node: 2, Peer: 1, Pub: 1, Hops: 1},
+		{Kind: KindRecv, Node: 3, Peer: 2, Pub: 1, Hops: 2},
+	}
+	tr := Analyze(spans)
+	et := tr.Events[0]
+	if et.Root == nil || et.Root.ID != 1 {
+		t.Fatalf("root = %+v, want synthesized sender 1", et.Root)
+	}
+	if len(et.Root.Children) != 1 || et.Root.Children[0].Children[0].ID != 3 {
+		t.Errorf("tree shape wrong: %+v", et.Root)
+	}
+}

@@ -1,0 +1,86 @@
+// Package telemetry is the node-wide observability layer: a dependency-free
+// metrics registry (atomic counters, gauges and histograms rendered in the
+// Prometheus text format) and a hop-level event tracer that records message
+// lifecycles as structured JSONL spans.
+//
+// Two properties shape the design:
+//
+//   - Zero allocation on the hot path. Counter.Inc, Gauge.Set and
+//     Histogram.Observe are single atomic operations; the tracer reuses one
+//     encode buffer under its lock. Allocation happens only at construction
+//     and at scrape time.
+//
+//   - Nil-safe disabling. Every instrument method is a no-op on a nil
+//     receiver, so a subsystem whose telemetry is disabled pays exactly one
+//     predictable branch per observation point — no interfaces, no dynamic
+//     dispatch, no allocation. Instrument bundles (NodeMetrics and friends)
+//     built without a registry are zero structs whose fields are all nil.
+//
+// The same instruments serve the simulator and real processes: simulations
+// run with disabled (nil) instruments so experiment tables stay
+// byte-identical, while cmd/vitis-node builds everything against a live
+// Registry and serves it over HTTP.
+package telemetry
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; all methods are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// NewCounter returns a live, unregistered counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d to the counter.
+func (c *Counter) Add(d uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; all methods are no-ops on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge returns a live, unregistered gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

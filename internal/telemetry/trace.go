@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Span kinds emitted by the protocol layers. One span is one JSONL line;
+// spans of one event share its (pub, seq) key, spans of one relay lookup
+// share its (topic, node=origin) key.
+const (
+	KindPublish     = "publish"      // a node published an event
+	KindRecv        = "recv"         // a notification arrived (flag = duplicate)
+	KindDeliver     = "deliver"      // first receipt of a subscribed event
+	KindForward     = "forward"      // notification forwarded to peer
+	KindGateway     = "gateway"      // gateway proposal changed (peer = proposed gateway)
+	KindRelayLookup = "relay_lookup" // gateway initiated a relay-path lookup
+	KindRelayHop    = "relay_hop"    // relay lookup forwarded one greedy hop (peer = next)
+	KindRelayRdv    = "relay_rdv"    // node assumed rendezvous duty
+	KindRelayRefuse = "relay_refuse" // relay lookup refused, TTL exhausted
+	KindPullReq     = "pull_req"     // payload pull started (peer = source)
+	KindPullRetry   = "pull_retry"   // payload pull retransmitted
+	KindPullResp    = "pull_resp"    // payload arrived (hops field reused for bytes)
+)
+
+// SpanEvent is one trace record. Fields are reused across kinds; zero-value
+// fields other than TS, Kind and Node are omitted on the wire.
+type SpanEvent struct {
+	TS    int64  `json:"ts"`              // tracer clock, milliseconds
+	Kind  string `json:"kind"`            //
+	Node  uint64 `json:"node"`            // node the span happened on
+	Peer  uint64 `json:"peer,omitempty"`  // counterpart (sender, target, ...)
+	Topic uint64 `json:"topic,omitempty"` //
+	Pub   uint64 `json:"pub,omitempty"`   // event publisher
+	Seq   uint64 `json:"seq,omitempty"`   // event sequence number
+	Hops  int    `json:"hops,omitempty"`  // overlay hops (or bytes for pull_resp)
+	TTL   int    `json:"ttl,omitempty"`   //
+	Flag  bool   `json:"flag,omitempty"`  // kind-specific (recv: duplicate)
+}
+
+// Tracer records spans as JSONL. A nil tracer is fully disabled: Emit is a
+// no-op costing one branch and no allocation. A live tracer serialises
+// writers under a mutex and reuses one encode buffer, so concurrent nodes
+// (simulation) and transport goroutines can share it.
+type Tracer struct {
+	now func() int64
+
+	mu      sync.Mutex
+	w       *bufio.Writer
+	c       io.Closer
+	buf     []byte
+	emitted uint64
+	err     error
+}
+
+// NewTracer writes spans to w, stamping each with now() (milliseconds on
+// whatever clock the caller chooses: engine time in simulation, time since
+// start on a live node). If w is an io.Closer, Close closes it.
+func NewTracer(w io.Writer, now func() int64) *Tracer {
+	t := &Tracer{now: now, w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// Emit records one span. The TS field is stamped by the tracer; the rest is
+// taken from e. Safe for concurrent use; no-op on a nil tracer.
+func (t *Tracer) Emit(e SpanEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	e.TS = t.now()
+	t.buf = appendSpan(t.buf[:0], e)
+	if _, err := t.w.Write(t.buf); err != nil {
+		t.err = err
+		return
+	}
+	t.emitted++
+}
+
+// Emitted returns how many spans were written (0 for a nil tracer).
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted
+}
+
+// Flush pushes buffered spans to the underlying writer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Close flushes and, if the target is an io.Closer, closes it.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	err := t.Flush()
+	t.mu.Lock()
+	c := t.c
+	t.c = nil
+	t.mu.Unlock()
+	if c != nil {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// appendSpan hand-encodes one span as a JSON line. Field names and
+// omit-empty behaviour match SpanEvent's json tags (encoding/json decodes
+// these lines back), but encoding avoids reflection so a hot tracer does
+// not allocate per span.
+func appendSpan(b []byte, e SpanEvent) []byte {
+	b = append(b, `{"ts":`...)
+	b = strconv.AppendInt(b, e.TS, 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind...)
+	b = append(b, `","node":`...)
+	b = strconv.AppendUint(b, e.Node, 10)
+	if e.Peer != 0 {
+		b = append(b, `,"peer":`...)
+		b = strconv.AppendUint(b, e.Peer, 10)
+	}
+	if e.Topic != 0 {
+		b = append(b, `,"topic":`...)
+		b = strconv.AppendUint(b, e.Topic, 10)
+	}
+	if e.Pub != 0 {
+		b = append(b, `,"pub":`...)
+		b = strconv.AppendUint(b, e.Pub, 10)
+	}
+	if e.Seq != 0 {
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendUint(b, e.Seq, 10)
+	}
+	if e.Hops != 0 {
+		b = append(b, `,"hops":`...)
+		b = strconv.AppendInt(b, int64(e.Hops), 10)
+	}
+	if e.TTL != 0 {
+		b = append(b, `,"ttl":`...)
+		b = strconv.AppendInt(b, int64(e.TTL), 10)
+	}
+	if e.Flag {
+		b = append(b, `,"flag":true`...)
+	}
+	return append(b, '}', '\n')
+}

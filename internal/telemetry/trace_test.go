@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	now := int64(0)
+	tr := NewTracer(&buf, func() int64 { now++; return now })
+
+	tr.Emit(SpanEvent{Kind: KindPublish, Node: 100, Topic: 7, Pub: 100})
+	tr.Emit(SpanEvent{Kind: KindRecv, Node: 200, Peer: 100, Topic: 7, Pub: 100, Hops: 1})
+	tr.Emit(SpanEvent{Kind: KindRecv, Node: 200, Peer: 100, Topic: 7, Pub: 100, Hops: 2, Flag: true})
+	tr.Emit(SpanEvent{Kind: KindRelayHop, Node: 300, Peer: 400, Topic: 7, Pub: 100, TTL: 63})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Emitted() != 4 {
+		t.Errorf("emitted = %d, want 4", tr.Emitted())
+	}
+
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 4 {
+		t.Fatalf("decoded %d spans, want 4", len(spans))
+	}
+	want := []SpanEvent{
+		{TS: 1, Kind: KindPublish, Node: 100, Topic: 7, Pub: 100},
+		{TS: 2, Kind: KindRecv, Node: 200, Peer: 100, Topic: 7, Pub: 100, Hops: 1},
+		{TS: 3, Kind: KindRecv, Node: 200, Peer: 100, Topic: 7, Pub: 100, Hops: 2, Flag: true},
+		{TS: 4, Kind: KindRelayHop, Node: 300, Peer: 400, Topic: 7, Pub: 100, TTL: 63},
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Errorf("span %d = %+v, want %+v", i, spans[i], want[i])
+		}
+	}
+}
+
+// TestAppendSpanMatchesEncodingJSON pins the hand-rolled encoder to the
+// declared json tags: whatever appendSpan writes, encoding/json must decode
+// into an identical struct.
+func TestAppendSpanMatchesEncodingJSON(t *testing.T) {
+	cases := []SpanEvent{
+		{TS: 0, Kind: KindDeliver, Node: 1},
+		{TS: -5, Kind: KindForward, Node: 1<<64 - 1, Peer: 2, Topic: 3, Pub: 4, Seq: 5, Hops: -1, TTL: 7, Flag: true},
+	}
+	for _, c := range cases {
+		line := appendSpan(nil, c)
+		var got SpanEvent
+		if err := json.Unmarshal(bytes.TrimSpace(line), &got); err != nil {
+			t.Fatalf("unmarshal %q: %v", line, err)
+		}
+		if got != c {
+			t.Errorf("round trip %q = %+v, want %+v", line, got, c)
+		}
+	}
+}
+
+func TestReadSpansRejectsGarbage(t *testing.T) {
+	_, err := ReadSpans(strings.NewReader("{\"ts\":1,\"kind\":\"x\",\"node\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line-2 parse error", err)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(SpanEvent{Kind: KindPublish, Node: 1})
+	if tr.Emitted() != 0 {
+		t.Error("nil tracer must not count")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Error(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Error(err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"vitis/internal/simnet"
+	"vitis/internal/telemetry"
 )
 
 // Descriptor is a routing-table or candidate-buffer entry: a node id plus a
@@ -39,6 +40,8 @@ type Callbacks struct {
 	// tables can close into cliques (OPT) set it positive so membership
 	// knowledge keeps crossing cluster boundaries.
 	SamplePeerProb float64
+	// Metrics instruments the exchanger's gossip rounds; nil disables.
+	Metrics *telemetry.GossipMetrics
 }
 
 // Exchange messages.
@@ -67,6 +70,9 @@ func New(net simnet.Net, self simnet.NodeID, period simnet.Time, cb Callbacks, b
 		period = simnet.Second
 	}
 	x := &Exchanger{net: net, self: self, period: period, cb: cb, rng: rng}
+	if x.cb.Metrics == nil {
+		x.cb.Metrics = &telemetry.GossipMetrics{}
+	}
 	x.rt = dedup(self, bootstrap)
 	return x
 }
@@ -88,6 +94,7 @@ func (x *Exchanger) Stop() { x.stopped = true }
 // tick is the active thread of Algorithm 2: pick a random neighbor, send it
 // our merged buffer; the routing table is refreshed when the reply arrives.
 func (x *Exchanger) tick() {
+	x.cb.Metrics.Rounds.Inc()
 	var peer simnet.NodeID
 	fromSamples := x.cb.SamplePeerProb > 0 && x.cb.SampleNodes != nil &&
 		x.rng.Float64() < x.cb.SamplePeerProb

@@ -35,7 +35,7 @@ func runRealCluster(t *testing.T, trs []Transport) {
 	hosts := make([]*Host, len(trs))
 	nodes := make([]*core.Node, len(trs))
 	for i, tr := range trs {
-		hosts[i] = NewHost(simnet.NewEngine(int64(100+i)), tr)
+		hosts[i] = NewHost(simnet.NewEngine(int64(100+i)), tr, nil)
 		nodes[i] = core.NewNode(hosts[i], ids[i], rtParams, core.Hooks{
 			OnDeliver: func(node core.NodeID, _ core.TopicID, _ core.EventID, _ int) {
 				select {

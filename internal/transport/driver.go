@@ -46,6 +46,7 @@ func (d *Driver) Run(ctx context.Context) {
 		for {
 			select {
 			case env := <-d.host.inbox:
+				d.host.tel.InboxDepth.Add(-1)
 				d.host.dispatch(env.from, env.to, env.msg)
 			default:
 				break drain
@@ -75,6 +76,7 @@ func (d *Driver) Run(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case env := <-d.host.inbox:
+			d.host.tel.InboxDepth.Add(-1)
 			eng.RunUntil(d.simNow())
 			d.host.dispatch(env.from, env.to, env.msg)
 		case <-timer.C:

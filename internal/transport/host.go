@@ -2,9 +2,9 @@ package transport
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"vitis/internal/simnet"
+	"vitis/internal/telemetry"
 )
 
 // inboxCap bounds the queue of inbound messages waiting for the driver.
@@ -38,11 +38,9 @@ type Host struct {
 	// inbox is non-nil only for async hosts.
 	inbox chan envelope
 
-	sent       atomic.Uint64 // messages accepted by Send
-	received   atomic.Uint64 // messages dispatched to a local handler
-	sendErrors atomic.Uint64 // transport Send failures
-	inboxDrops atomic.Uint64 // inbound messages lost to a full inbox
-	noHandler  atomic.Uint64 // inbound messages for ids not hosted here
+	// tel holds the host's traffic counters; always non-nil (a private
+	// live bundle when the constructor got nil).
+	tel *telemetry.HostMetrics
 }
 
 type envelope struct {
@@ -51,9 +49,11 @@ type envelope struct {
 }
 
 // NewHost builds an asynchronous Host over tr. Run a Driver on it to pump
-// timers and inbound messages.
-func NewHost(eng *simnet.Engine, tr Transport) *Host {
-	h := newHost(eng, tr, true)
+// timers and inbound messages. A nil metrics bundle gets a private live one
+// (Counters() still works); pass one built from a registry to expose the
+// counters on /metrics.
+func NewHost(eng *simnet.Engine, tr Transport, m *telemetry.HostMetrics) *Host {
+	h := newHost(eng, tr, true, m)
 	h.inbox = make(chan envelope, inboxCap)
 	return h
 }
@@ -61,15 +61,19 @@ func NewHost(eng *simnet.Engine, tr Transport) *Host {
 // NewSyncHost builds a Host that dispatches inbound messages inline, for
 // transports (Sim) that deliver on the engine goroutine already.
 func NewSyncHost(eng *simnet.Engine, tr Transport) *Host {
-	return newHost(eng, tr, false)
+	return newHost(eng, tr, false, nil)
 }
 
-func newHost(eng *simnet.Engine, tr Transport, loopLocal bool) *Host {
+func newHost(eng *simnet.Engine, tr Transport, loopLocal bool, m *telemetry.HostMetrics) *Host {
+	if m == nil {
+		m = telemetry.NewHostMetrics(nil)
+	}
 	h := &Host{
 		eng:       eng,
 		tr:        tr,
 		loopLocal: loopLocal,
 		local:     make(map[simnet.NodeID]simnet.Handler),
+		tel:       m,
 	}
 	tr.SetReceiver(h.receive)
 	return h
@@ -106,13 +110,13 @@ func (h *Host) Alive(id simnet.NodeID) bool {
 // goes to the transport. Failures are counted, not surfaced: the protocol
 // layers treat the network as best-effort.
 func (h *Host) Send(from, to simnet.NodeID, msg simnet.Message) {
-	h.sent.Add(1)
+	h.tel.Sent.Inc()
 	if h.loopLocal && h.Alive(to) {
 		h.eng.Schedule(0, func() { h.dispatch(from, to, msg) })
 		return
 	}
 	if err := h.tr.Send(from, to, msg); err != nil {
-		h.sendErrors.Add(1)
+		h.tel.SendErrors.Inc()
 	}
 }
 
@@ -124,8 +128,9 @@ func (h *Host) receive(from, to simnet.NodeID, msg simnet.Message) {
 	}
 	select {
 	case h.inbox <- envelope{from, to, msg}:
+		h.tel.InboxDepth.Add(1)
 	default:
-		h.inboxDrops.Add(1)
+		h.tel.InboxDrops.Inc()
 	}
 }
 
@@ -136,10 +141,10 @@ func (h *Host) dispatch(from, to simnet.NodeID, msg simnet.Message) {
 	hd := h.local[to]
 	h.mu.RUnlock()
 	if hd == nil {
-		h.noHandler.Add(1)
+		h.tel.NoHandler.Inc()
 		return
 	}
-	h.received.Add(1)
+	h.tel.Received.Inc()
 	hd.Deliver(from, msg)
 }
 
@@ -155,10 +160,10 @@ type HostCounters struct {
 // Counters returns a snapshot of the host's traffic counters.
 func (h *Host) Counters() HostCounters {
 	return HostCounters{
-		Sent:       h.sent.Load(),
-		Received:   h.received.Load(),
-		SendErrors: h.sendErrors.Load(),
-		InboxDrops: h.inboxDrops.Load(),
-		NoHandler:  h.noHandler.Load(),
+		Sent:       h.tel.Sent.Value(),
+		Received:   h.tel.Received.Value(),
+		SendErrors: h.tel.SendErrors.Value(),
+		InboxDrops: h.tel.InboxDrops.Value(),
+		NoHandler:  h.tel.NoHandler.Value(),
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"vitis/internal/core"
 	"vitis/internal/sampling"
 	"vitis/internal/simnet"
+	"vitis/internal/telemetry"
 	"vitis/internal/tman"
 	"vitis/internal/wire"
 )
@@ -54,6 +55,10 @@ type UDPConfig struct {
 	PendingCap int
 	// MaxHints bounds address hints per datagram (default 8).
 	MaxHints int
+	// Metrics receives the transport's counters. Nil gets a private live
+	// bundle (Counters() still works); pass one built from a registry to
+	// expose the counters on /metrics.
+	Metrics *telemetry.TransportMetrics
 }
 
 func (c *UDPConfig) fill() {
@@ -65,6 +70,9 @@ func (c *UDPConfig) fill() {
 	}
 	if c.MaxHints <= 0 {
 		c.MaxHints = 8
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewTransportMetrics(nil)
 	}
 }
 
@@ -86,14 +94,9 @@ type UDP struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
-	txFrames     atomic.Uint64 // frames queued toward a resolved peer
-	txDropped    atomic.Uint64 // datagrams lost to a full peer queue
-	txPending    atomic.Uint64 // frames stashed awaiting address resolution
-	txErrors     atomic.Uint64 // socket write failures
-	rxDatagrams  atomic.Uint64 // datagrams parsed successfully
-	rxFrames     atomic.Uint64 // wire frames delivered upward
-	rxErrors     atomic.Uint64 // malformed datagrams or frames
-	rxUnroutable atomic.Uint64 // frames for ids not hosted here
+	// tel holds the transport's counters (see UDPConfig.Metrics); always
+	// non-nil after fill().
+	tel *telemetry.TransportMetrics
 }
 
 type peerQueue struct {
@@ -115,6 +118,7 @@ func ListenUDP(addr string, cfg UDPConfig) (*UDP, error) {
 	u := &UDP{
 		conn:    conn,
 		cfg:     cfg,
+		tel:     cfg.Metrics,
 		local:   make(map[simnet.NodeID]bool),
 		book:    make(map[simnet.NodeID]*net.UDPAddr),
 		queues:  make(map[simnet.NodeID]*peerQueue),
@@ -193,7 +197,7 @@ func (u *UDP) Send(from, to simnet.NodeID, msg simnet.Message) error {
 			stash = stash[1:]
 		}
 		u.pending[to] = append(stash, frame)
-		u.txPending.Add(1)
+		u.tel.TxPending.Inc()
 		return nil
 	}
 	u.enqueueLocked(to, u.envelopeLocked(frame, flagFrame, mentionedIDs(msg)))
@@ -226,7 +230,7 @@ func (u *UDP) Hello(addr *net.UDPAddr) {
 		return
 	}
 	if _, err := u.conn.WriteToUDP(dgram, addr); err != nil {
-		u.txErrors.Add(1)
+		u.tel.TxErrors.Inc()
 	}
 }
 
@@ -280,14 +284,14 @@ func (u *UDP) Counters() UDPCounters {
 	peers := len(u.book)
 	u.mu.Unlock()
 	return UDPCounters{
-		TxFrames:     u.txFrames.Load(),
-		TxDropped:    u.txDropped.Load(),
-		TxPending:    u.txPending.Load(),
-		TxErrors:     u.txErrors.Load(),
-		RxDatagrams:  u.rxDatagrams.Load(),
-		RxFrames:     u.rxFrames.Load(),
-		RxErrors:     u.rxErrors.Load(),
-		RxUnroutable: u.rxUnroutable.Load(),
+		TxFrames:     u.tel.TxFrames.Value(),
+		TxDropped:    u.tel.TxDropped.Value(),
+		TxPending:    u.tel.TxPending.Value(),
+		TxErrors:     u.tel.TxErrors.Value(),
+		RxDatagrams:  u.tel.RxDatagrams.Value(),
+		RxFrames:     u.tel.RxFrames.Value(),
+		RxErrors:     u.tel.RxErrors.Value(),
+		RxUnroutable: u.tel.RxUnroutable.Value(),
 		KnownPeers:   peers,
 	}
 }
@@ -305,9 +309,10 @@ func (u *UDP) enqueueLocked(to simnet.NodeID, dgram []byte) {
 	}
 	select {
 	case q.ch <- dgram:
-		u.txFrames.Add(1)
+		u.tel.TxFrames.Inc()
+		u.tel.QueueDepth.Add(1)
 	default:
-		u.txDropped.Add(1)
+		u.tel.TxDropped.Inc()
 	}
 }
 
@@ -319,8 +324,9 @@ func (u *UDP) sendLoop(q *peerQueue) {
 		case <-u.done:
 			return
 		case dgram := <-q.ch:
+			u.tel.QueueDepth.Add(-1)
 			if _, err := u.conn.WriteToUDP(dgram, q.addr.Load()); err != nil {
-				u.txErrors.Add(1)
+				u.tel.TxErrors.Inc()
 			}
 		}
 	}
@@ -331,6 +337,7 @@ func (u *UDP) sendLoop(q *peerQueue) {
 // u.mu.
 func (u *UDP) learnLocked(id simnet.NodeID, addr *net.UDPAddr) {
 	u.book[id] = addr
+	u.tel.KnownPeers.Set(int64(len(u.book)))
 	if q := u.queues[id]; q != nil {
 		q.addr.Store(addr)
 	}
@@ -421,7 +428,7 @@ func (u *UDP) readLoop() {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
-			u.rxErrors.Add(1)
+			u.tel.RxErrors.Inc()
 			continue
 		}
 		u.handleDatagram(buf[:n], src)
@@ -432,7 +439,7 @@ func (u *UDP) readLoop() {
 // deliver the frame.
 func (u *UDP) handleDatagram(b []byte, src *net.UDPAddr) {
 	if len(b) < 6 || b[0] != envMagic[0] || b[1] != envMagic[1] || b[2] != envVersion {
-		u.rxErrors.Add(1)
+		u.tel.RxErrors.Inc()
 		return
 	}
 	flags := b[3]
@@ -441,7 +448,7 @@ func (u *UDP) handleDatagram(b []byte, src *net.UDPAddr) {
 	nSrc := int(rest[0])
 	rest = rest[1:]
 	if len(rest) < nSrc*8 {
-		u.rxErrors.Add(1)
+		u.tel.RxErrors.Inc()
 		return
 	}
 	srcIDs := make([]simnet.NodeID, nSrc)
@@ -451,7 +458,7 @@ func (u *UDP) handleDatagram(b []byte, src *net.UDPAddr) {
 	rest = rest[nSrc*8:]
 
 	if len(rest) < 1 {
-		u.rxErrors.Add(1)
+		u.tel.RxErrors.Inc()
 		return
 	}
 	nHints := int(rest[0])
@@ -463,14 +470,14 @@ func (u *UDP) handleDatagram(b []byte, src *net.UDPAddr) {
 	hints := make([]hintEntry, 0, nHints)
 	for i := 0; i < nHints; i++ {
 		if len(rest) < 9 {
-			u.rxErrors.Add(1)
+			u.tel.RxErrors.Inc()
 			return
 		}
 		id := simnet.NodeID(takeU64(rest))
 		ipLen := int(rest[8])
 		rest = rest[9:]
 		if ipLen != 4 && ipLen != 16 || len(rest) < ipLen+2 {
-			u.rxErrors.Add(1)
+			u.tel.RxErrors.Inc()
 			return
 		}
 		ip := append(net.IP(nil), rest[:ipLen]...)
@@ -493,7 +500,7 @@ func (u *UDP) handleDatagram(b []byte, src *net.UDPAddr) {
 	}
 	recv := u.recv
 	u.mu.Unlock()
-	u.rxDatagrams.Add(1)
+	u.tel.RxDatagrams.Inc()
 
 	if flags&flagAckReq != 0 {
 		u.mu.Lock()
@@ -502,7 +509,7 @@ func (u *UDP) handleDatagram(b []byte, src *net.UDPAddr) {
 		u.mu.Unlock()
 		if !closed {
 			if _, err := u.conn.WriteToUDP(ack, src); err != nil {
-				u.txErrors.Add(1)
+				u.tel.TxErrors.Inc()
 			}
 		}
 	}
@@ -512,17 +519,17 @@ func (u *UDP) handleDatagram(b []byte, src *net.UDPAddr) {
 	}
 	from, to, msg, err := wire.Decode(rest)
 	if err != nil {
-		u.rxErrors.Add(1)
+		u.tel.RxErrors.Inc()
 		return
 	}
 	u.mu.Lock()
 	hosted := u.local[to]
 	u.mu.Unlock()
 	if !hosted {
-		u.rxUnroutable.Add(1)
+		u.tel.RxUnroutable.Inc()
 		return
 	}
-	u.rxFrames.Add(1)
+	u.tel.RxFrames.Inc()
 	if recv != nil {
 		recv(from, to, msg)
 	}
