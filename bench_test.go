@@ -116,6 +116,28 @@ func BenchmarkLossResilience(b *testing.B) {
 	b.ReportMetric(float64(len(tab.Rows)), "rows")
 }
 
+// BenchmarkFig5Small is the end-to-end regression benchmark behind
+// BENCH_PR4.json: the full Fig. 5 sweep at the Small scale, single worker
+// (so the timing has no scheduling noise). It is the slowest benchmark in
+// the suite by far — skipped in -short mode, which the CI bench-smoke job
+// uses.
+func BenchmarkFig5Small(b *testing.B) {
+	if testing.Short() {
+		b.Skip("Small-scale end-to-end sweep; skipped in -short mode")
+	}
+	sc := experiments.Small()
+	sc.Workers = 1
+	var tab *tablefmt.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = experiments.Fig5OverheadDist(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
 // BenchmarkSingleRunVitis measures one full Vitis simulation (the unit of
 // every figure), reporting the quality metrics alongside time/allocs.
 func BenchmarkSingleRunVitis(b *testing.B) {

@@ -8,6 +8,8 @@
 //	vitis-bench -scale paper        # the paper's 10,000-node configuration
 //	vitis-bench -parallel 8         # fan each figure's runs over 8 workers
 //	vitis-bench -o EXPERIMENTS.out  # also write the output to a file
+//	vitis-bench -bench-json b.json  # machine-readable performance report
+//	vitis-bench -cpuprofile c.pprof # CPU profile of the whole invocation
 //
 // Each figure is a sweep of independent simulation runs; -parallel N
 // (default: the machine's CPU count) executes up to N of them concurrently.
@@ -17,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"vitis/internal/experiments"
+	"vitis/internal/profiling"
 	"vitis/internal/tablefmt"
 )
 
@@ -54,14 +58,43 @@ var figures = []figure{
 	{"loss", experiments.LossResilience},
 }
 
-func main() {
+// benchReport is the -bench-json output: enough to compare two builds of the
+// simulator without parsing the human-oriented tables. Committed examples
+// live in BENCH_*.json at the repo root.
+type benchReport struct {
+	Tool     string   `json:"tool"`
+	Scale    string   `json:"scale"`
+	Seed     int64    `json:"seed"`
+	Parallel int      `json:"parallel"`
+	Figures  []string `json:"figures"`
+
+	WallClockSec float64 `json:"wall_clock_sec"`
+
+	// Aggregates over every simulation run of the invocation.
+	Runs           uint64  `json:"runs"`
+	EventsExecuted uint64  `json:"events_executed"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	BytesOnWire    uint64  `json:"bytes_on_wire"`
+
+	// Process-wide allocation totals (runtime.MemStats).
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	NumGC           uint32 `json:"num_gc"`
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		scaleName = flag.String("scale", "default", "workload scale: tiny, small, default or paper")
-		figList   = flag.String("fig", "all", "comma-separated figure list (4..12, delay-scaling, gateway-threshold, rate-awareness, proximity, clusters, control-traffic) or all")
-		outPath   = flag.String("o", "", "also write output to this file")
-		seed      = flag.Int64("seed", 1, "random seed")
-		parallel  = flag.Int("parallel", runtime.NumCPU(), "max concurrent simulation runs per figure (tables are byte-identical for any value)")
-		progress  = flag.Bool("progress", true, "print per-run progress/timing to stderr")
+		scaleName  = flag.String("scale", "default", "workload scale: tiny, small, default or paper")
+		figList    = flag.String("fig", "all", "comma-separated figure list (4..12, delay-scaling, gateway-threshold, rate-awareness, proximity, clusters, control-traffic) or all")
+		outPath    = flag.String("o", "", "also write output to this file")
+		seed       = flag.Int64("seed", 1, "random seed")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "max concurrent simulation runs per figure (tables are byte-identical for any value)")
+		progress   = flag.Bool("progress", true, "print per-run progress/timing to stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		benchJSON  = flag.String("bench-json", "", "write a machine-readable performance report to this file")
 	)
 	flag.Parse()
 
@@ -77,7 +110,7 @@ func main() {
 		sc = experiments.Paper()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		return 2
 	}
 	sc.Seed = *seed
 	if *parallel < 1 {
@@ -110,7 +143,7 @@ func main() {
 					fmt.Fprintf(os.Stderr, ", %s", fig.name)
 				}
 				fmt.Fprintln(os.Stderr, ")")
-				os.Exit(2)
+				return 2
 			}
 			wanted[name] = true
 		}
@@ -121,10 +154,16 @@ func main() {
 		f, err := os.Create(*outPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
 
 	fmt.Fprintf(out, "vitis-bench scale=%s seed=%d nodes=%d topics=%d parallel=%d\n\n",
@@ -133,6 +172,7 @@ func main() {
 	// Figures run one after another — the parallelism lives inside each
 	// figure's sweep — so tables stream out in order as they finish.
 	failed := false
+	var ranFigs []string
 	total := time.Now()
 	for _, fig := range figures {
 		if len(wanted) > 0 && !wanted[fig.name] {
@@ -148,13 +188,55 @@ func main() {
 			failed = true
 			continue
 		}
+		ranFigs = append(ranFigs, fig.name)
 		fmt.Fprintf(out, "%s\n(generated in %v)\n\n", tab, time.Since(start).Round(time.Millisecond))
 	}
+	wall := time.Since(total)
 	if *progress {
 		fmt.Fprintf(os.Stderr, "total wall time %v (parallel=%d)\n",
-			time.Since(total).Round(time.Millisecond), *parallel)
+			wall.Round(time.Millisecond), *parallel)
+	}
+
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		failed = true
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *scaleName, *seed, *parallel, ranFigs, wall); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func writeBenchJSON(path, scale string, seed int64, parallel int, figs []string, wall time.Duration) error {
+	runs, events, bytes := experiments.Totals()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rep := benchReport{
+		Tool:            "vitis-bench",
+		Scale:           scale,
+		Seed:            seed,
+		Parallel:        parallel,
+		Figures:         figs,
+		WallClockSec:    wall.Seconds(),
+		Runs:            runs,
+		EventsExecuted:  events,
+		BytesOnWire:     bytes,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		NumGC:           ms.NumGC,
+	}
+	if wall > 0 {
+		rep.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

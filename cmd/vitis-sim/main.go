@@ -23,11 +23,16 @@ import (
 
 	"vitis/internal/experiments"
 	"vitis/internal/parallel"
+	"vitis/internal/profiling"
 	"vitis/internal/stats"
 	"vitis/internal/workload"
 )
 
 func main() {
+	var (
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	)
 	var (
 		system   = flag.String("system", "vitis", "system to run: vitis, rvr or opt")
 		pattern  = flag.String("pattern", "high", "subscription pattern: random, low, high or twitter")
@@ -67,6 +72,17 @@ func main() {
 	}
 	if *workers < 1 {
 		*workers = 1
+	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	finishProfiles := func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
 	}
 
 	// Workload generation per replica seed (cheap next to the simulation;
@@ -132,6 +148,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		finishProfiles()
 		os.Exit(1)
 	}
 
@@ -155,6 +172,7 @@ func main() {
 
 	if *runs == 1 {
 		report(outs[0].sub, outs[0].res)
+		finishProfiles()
 		return
 	}
 
@@ -171,6 +189,7 @@ func main() {
 	fmt.Printf("hit ratio         %.2f%%\n", 100*stats.Summarize(hits).Mean)
 	fmt.Printf("traffic overhead  %.2f%%\n", 100*stats.Summarize(ovhs).Mean)
 	fmt.Printf("avg delay         %.2f hops\n", stats.Summarize(delays).Mean)
+	finishProfiles()
 }
 
 func intsToFloats(xs []int) []float64 {

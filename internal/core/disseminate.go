@@ -1,8 +1,9 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
+	"vitis/internal/simnet"
 	"vitis/internal/telemetry"
 )
 
@@ -111,33 +112,44 @@ func (n *Node) handleNotification(from NodeID, m Notification) {
 // topic: all cluster neighbors whose profile shows interest, plus the live
 // relay parent and children. exclude (the node we got the event from) is
 // skipped; other duplicate paths are cut by the receivers' seen-set.
+//
+// This is the data plane's hottest path (it runs once per notification per
+// node), so the target set is built in reusable per-node scratch slices —
+// sorted and deduplicated for deterministic send order — instead of a
+// per-call map.
 func (n *Node) forwardData(t TopicID, ev EventID, hops int, exclude NodeID, hasData bool) {
-	targets := make(map[NodeID]bool)
-	for _, nb := range n.clusterNeighbors() {
+	n.fwdNbrs = n.clusterNeighborsInto(n.fwdNbrs)
+	ids := n.fwdTargets[:0]
+	for _, nb := range n.fwdNbrs {
 		if p := n.profiles[nb]; p != nil && p.Subscribed(t) {
-			targets[nb] = true
+			ids = append(ids, nb)
 		}
 	}
 	if rs, ok := n.relays[t]; ok {
 		now := n.eng.Now()
 		if parent, ok := rs.freshParent(now); ok {
-			targets[parent] = true
+			ids = append(ids, parent)
 		}
-		for _, c := range rs.freshChildren(now) {
-			targets[c] = true
-		}
+		ids = append(ids, rs.freshChildren(now)...)
 	}
-	delete(targets, exclude)
-	delete(targets, n.id)
-
-	ids := make([]NodeID, 0, len(targets))
-	for id := range targets {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	n.tel.Forwards.Add(uint64(len(ids)))
+	slices.Sort(ids)
+	ids = slices.Compact(ids)
+	w := 0
 	for _, id := range ids {
-		n.net.Send(n.id, id, Notification{Topic: t, Event: ev, Hops: hops + 1, HasData: hasData})
+		if id == exclude || id == n.id {
+			continue
+		}
+		ids[w] = id
+		w++
+	}
+	ids = ids[:w]
+	n.fwdTargets = ids
+	n.tel.Forwards.Add(uint64(len(ids)))
+	// Box the notification once: the same value goes to every target, so
+	// one interface conversion serves the whole fan-out.
+	msg := simnet.Message(Notification{Topic: t, Event: ev, Hops: hops + 1, HasData: hasData})
+	for _, id := range ids {
+		n.net.Send(n.id, id, msg)
 		n.tracer.Emit(telemetry.SpanEvent{
 			Kind: telemetry.KindForward, Node: uint64(n.id), Peer: uint64(id),
 			Topic: uint64(t), Pub: uint64(ev.Publisher), Seq: ev.Seq, Hops: hops,

@@ -2,7 +2,7 @@ package core
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"vitis/internal/idspace"
 	"vitis/internal/sampling"
@@ -30,6 +30,29 @@ type Node struct {
 
 	subs map[TopicID]bool
 	rate func(TopicID) float64 // nil = uniform
+
+	// Cached views of the subscription set, rebuilt copy-on-write when subs
+	// or rate change. subsSorted is shared with outgoing descriptors and
+	// profiles (never mutated in place), subsWeight is the Eq. 1 rate mass
+	// of the node's own subscriptions — computed once instead of per
+	// candidate per gossip round.
+	subsSorted []TopicID
+	subsWeight float64
+	subsDirty  bool
+	// profileCache is the round's immutable profile snapshot, shared by
+	// heartbeats and reactive replies; invalidated whenever subs or
+	// proposals change.
+	profileCache *Profile
+
+	// Reusable scratch buffers for the per-message hot paths. Safe because
+	// a node is single-threaded and transports never deliver re-entrantly
+	// (see DESIGN.md "Performance"); contents are valid only within one
+	// event handler.
+	sel        selScratch
+	fwdNbrs    []NodeID
+	fwdTargets []NodeID
+	propNbrs   []NodeID
+	hbIDs      []NodeID
 
 	// Physical-topology extension of the preference function (§III-A2).
 	proximity       func(peer NodeID) float64
@@ -119,24 +142,50 @@ func (n *Node) ID() NodeID { return n.id }
 
 // Subscribe adds a topic to the node's profile. Taking effect in the overlay
 // structures happens over the following gossip rounds.
-func (n *Node) Subscribe(t TopicID) { n.subs[t] = true }
+func (n *Node) Subscribe(t TopicID) {
+	if n.subs[t] {
+		return
+	}
+	n.subs[t] = true
+	n.invalidateSubs()
+}
 
 // Unsubscribe removes a topic from the profile; the corresponding proposal
 // and any relay duty decay via leases.
 func (n *Node) Unsubscribe(t TopicID) {
+	if !n.subs[t] {
+		return
+	}
 	delete(n.subs, t)
 	delete(n.proposals, t)
+	n.invalidateSubs()
+}
+
+// invalidateSubs marks the cached subscription views stale. The old sorted
+// slice is left untouched (copy-on-write): descriptors and profiles already
+// sent keep referencing it safely.
+func (n *Node) invalidateSubs() {
+	n.subsDirty = true
+	n.profileCache = nil
 }
 
 // Subscribed reports whether the node currently subscribes to t.
 func (n *Node) Subscribed(t TopicID) bool { return n.subs[t] }
 
-// Subscriptions returns the sorted subscription list.
-func (n *Node) Subscriptions() []TopicID { return n.sortedSubs() }
+// Subscriptions returns the sorted subscription list (a copy; the internal
+// cache is shared with in-flight profiles).
+func (n *Node) Subscriptions() []TopicID {
+	return append([]TopicID(nil), n.sortedSubs()...)
+}
 
 // SetRate installs the publication-rate estimate rate(t) used by the Eq. 1
-// utility function. A nil function means uniform rates.
-func (n *Node) SetRate(rate func(TopicID) float64) { n.rate = rate }
+// utility function. A nil function means uniform rates. The function must be
+// pure (stable per topic): the node caches its own subscription rate mass
+// and only recomputes it on SetRate/Subscribe/Unsubscribe.
+func (n *Node) SetRate(rate func(TopicID) float64) {
+	n.rate = rate
+	n.subsDirty = true
+}
 
 // SetProximity enables the physical-topology extension of the preference
 // function (§III-A2): friend candidates are ranked by
@@ -246,19 +295,28 @@ func (n *Node) heartbeat() {
 	n.expireState(now)
 
 	profile := n.buildProfile()
-	for _, d := range n.xchg.RT() {
-		n.ages[d.ID]++
-		if n.ages[d.ID] > n.params.StaleAge {
-			n.xchg.Remove(d.ID)
-			delete(n.ages, d.ID)
-			delete(n.profiles, d.ID)
+	// One boxed message serves every heartbeat of the round.
+	hb := simnet.Message(ProfileMsg{Profile: profile})
+	// Snapshot the table ids into scratch: eviction below mutates the
+	// exchanger's table while we iterate.
+	rt := n.hbIDs[:0]
+	for _, d := range n.xchg.RTRef() {
+		rt = append(rt, d.ID)
+	}
+	n.hbIDs = rt
+	for _, id := range rt {
+		n.ages[id]++
+		if n.ages[id] > n.params.StaleAge {
+			n.xchg.Remove(id)
+			delete(n.ages, id)
+			delete(n.profiles, id)
 			// Tombstone: the dead descriptor will keep arriving in
 			// gossip buffers for a while; refuse to re-select it.
-			n.suspects[d.ID] = now + 3*simnet.Time(n.params.StaleAge)*n.params.HeartbeatPeriod
+			n.suspects[id] = now + 3*simnet.Time(n.params.StaleAge)*n.params.HeartbeatPeriod
 			n.tel.NeighborsEvicted.Inc()
 			continue
 		}
-		n.net.Send(n.id, d.ID, ProfileMsg{Profile: profile})
+		n.net.Send(n.id, id, hb)
 		n.tel.Heartbeats.Inc()
 	}
 	// Drop age entries for nodes no longer in the table.
@@ -284,7 +342,7 @@ func (n *Node) heartbeat() {
 // updateGauges refreshes the node's state gauges once per heartbeat. With
 // telemetry disabled every Set is a nil-receiver no-op.
 func (n *Node) updateGauges(now simnet.Time) {
-	n.tel.RoutingTableSize.Set(int64(len(n.xchg.RT())))
+	n.tel.RoutingTableSize.Set(int64(n.xchg.Len()))
 	fresh := 0
 	for _, exp := range n.reverse {
 		if exp > now {
@@ -331,22 +389,43 @@ func (n *Node) handleProfile(from NodeID, m ProfileMsg) {
 }
 
 // buildProfile snapshots the node's profile for this round. The result is
-// shared (immutable) across all heartbeats of the round.
+// shared (immutable) across all heartbeats and reactive replies of the
+// round: proposals only change in updateProposals and Unsubscribe, both of
+// which invalidate the cache, so the snapshot stays fresh without copying
+// the proposal map per reply.
 func (n *Node) buildProfile() *Profile {
+	if n.profileCache != nil {
+		return n.profileCache
+	}
 	props := make(map[TopicID]Proposal, len(n.proposals))
 	for t, p := range n.proposals {
 		props[t] = p
 	}
-	return &Profile{ID: n.id, Subs: n.sortedSubs(), Proposals: props}
+	n.profileCache = &Profile{ID: n.id, Subs: n.sortedSubs(), Proposals: props}
+	return n.profileCache
 }
 
+// sortedSubs returns the cached sorted subscription list. Callers must not
+// mutate it; mutation of the set allocates a fresh slice (copy-on-write).
 func (n *Node) sortedSubs() []TopicID {
-	out := make([]TopicID, 0, len(n.subs))
-	for t := range n.subs {
-		out = append(out, t)
+	subs, _ := n.subsView()
+	return subs
+}
+
+// subsView returns the sorted subscription list together with its Eq. 1
+// rate mass, rebuilding both if the set or rate function changed.
+func (n *Node) subsView() ([]TopicID, float64) {
+	if n.subsDirty {
+		out := make([]TopicID, 0, len(n.subs))
+		for t := range n.subs {
+			out = append(out, t)
+		}
+		slices.Sort(out)
+		n.subsSorted = out
+		n.subsWeight = weightSum(out, n.rate)
+		n.subsDirty = false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return n.subsSorted, n.subsWeight
 }
 
 // updateProposals is Algorithm 5: for every subscribed topic, adopt the best
@@ -354,7 +433,9 @@ func (n *Node) sortedSubs() []TopicID {
 // the hop threshold d; a node recognising itself as gateway initiates the
 // relay path.
 func (n *Node) updateProposals() {
-	neighbors := n.clusterNeighbors()
+	n.profileCache = nil // proposals are about to change
+	n.propNbrs = n.clusterNeighborsInto(n.propNbrs)
+	neighbors := n.propNbrs
 	// Iterate topics in sorted order: relay lookups send messages, and
 	// deterministic send order keeps whole runs reproducible.
 	for _, t := range n.sortedSubs() {
@@ -400,26 +481,24 @@ func (n *Node) updateProposals() {
 	}
 }
 
-// clusterNeighbors returns the ids of nodes forming the (symmetrized)
-// gossip neighborhood: routing-table entries plus fresh reverse neighbors.
-// Sorted for determinism.
-func (n *Node) clusterNeighbors() []NodeID {
+// clusterNeighborsInto appends the ids of nodes forming the (symmetrized)
+// gossip neighborhood — routing-table entries plus fresh reverse neighbors —
+// into dst[:0] and returns it sorted and deduplicated (determinism). Callers
+// own dst; the two hot callers (updateProposals, forwardData) each keep a
+// private scratch slice so neither can clobber the other mid-iteration.
+func (n *Node) clusterNeighborsInto(dst []NodeID) []NodeID {
 	now := n.eng.Now()
-	set := make(map[NodeID]bool)
-	for _, d := range n.xchg.RT() {
-		set[d.ID] = true
+	dst = dst[:0]
+	for _, d := range n.xchg.RTRef() {
+		dst = append(dst, d.ID)
 	}
 	for id, exp := range n.reverse {
 		if exp > now {
-			set[id] = true
+			dst = append(dst, id)
 		}
 	}
-	out := make([]NodeID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(dst)
+	return slices.Compact(dst)
 }
 
 func (n *Node) isClusterNeighbor(id NodeID) bool {
@@ -444,6 +523,7 @@ func (n *Node) expireState(now simnet.Time) {
 		for c, exp := range rs.children {
 			if exp <= now {
 				delete(rs.children, c)
+				rs.invalidateChildren()
 			}
 		}
 		if rs.expired(now) {

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+	"vitis/internal/tman"
+)
+
+// TestUtilityDeterministicAdversarialWeights is the regression test for the
+// nondeterministic Eq. 1 accumulation: the old implementation summed the
+// "mine" rate mass in Go map-iteration order, so with weights spanning many
+// orders of magnitude the low bits of the utility — and hence neighbor
+// rankings — could differ between runs of the same seed. The fixed version
+// accumulates in sorted topic order, making the result a pure function of
+// the set contents; we assert bit-identical results across many differently
+// built (but equal) subscription maps.
+func TestUtilityDeterministicAdversarialWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const k = 64
+	topics := make([]TopicID, k)
+	rates := make(map[TopicID]float64, k)
+	for i := range topics {
+		topics[i] = idspace.HashUint64(uint64(i) * 0x9e3779b97f4a7c15)
+		// Adversarial weights: magnitudes from 1e-30 to 1e+30, so any
+		// change in accumulation order flips low-order bits of the sum.
+		rates[topics[i]] = math.Pow(10, float64(rng.Intn(61)-30))
+	}
+	rate := func(tp TopicID) float64 { return rates[tp] }
+
+	theirs := append([]TopicID(nil), topics[:k/2]...)
+	theirs = append(theirs, idspace.HashUint64(12345), idspace.HashUint64(67890))
+	sortTopics(theirs)
+
+	var want float64
+	for trial := 0; trial < 200; trial++ {
+		// Build the same logical set with a fresh map and random insertion
+		// order each time.
+		perm := rng.Perm(k)
+		mine := make(map[TopicID]bool, k)
+		for _, i := range perm {
+			mine[topics[i]] = true
+		}
+		got := Utility(mine, theirs, rate)
+		if trial == 0 {
+			want = got
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: utility %x differs from first run %x",
+				trial, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func sortTopics(ts []TopicID) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// perfTestNode builds a joined node for hot-path tests and benchmarks.
+func perfTestNode(tb testing.TB, id NodeID, params Params) *Node {
+	tb.Helper()
+	eng := simnet.NewEngine(1)
+	net := simnet.NewNetwork(eng, simnet.ConstantLatency(1))
+	n := NewNode(net, id, params, Hooks{})
+	n.Join(nil)
+	return n
+}
+
+// perfBuffer builds a candidate buffer of size nodes, each subscribed to a
+// few of the given topics.
+func perfBuffer(size int, topics []TopicID) []tman.Descriptor {
+	buf := make([]tman.Descriptor, 0, size)
+	for i := 0; i < size; i++ {
+		subs := make(SubsSummary, 0, 4)
+		for j := 0; j < 4; j++ {
+			subs = append(subs, topics[(i*3+j*5)%len(topics)])
+		}
+		sortTopics(subs)
+		buf = append(buf, tman.Descriptor{
+			ID:      idspace.HashUint64(uint64(i) + 1),
+			Payload: subs,
+		})
+	}
+	return buf
+}
+
+func perfTopics(n int) []TopicID {
+	ts := make([]TopicID, n)
+	for i := range ts {
+		ts[i] = idspace.HashUint64(uint64(i) * 7919)
+	}
+	return ts
+}
+
+// TestSelectNeighborsAllocFree pins the steady-state allocation count of
+// Algorithm 4 at zero: after warm-up the selection runs entirely in the
+// node's reusable scratch buffers.
+func TestSelectNeighborsAllocFree(t *testing.T) {
+	n := perfTestNode(t, 1<<40, Params{RTSize: 15, SWLinks: 1, NetworkSizeEstimate: 1024})
+	topics := perfTopics(16)
+	for _, tp := range topics[:8] {
+		n.Subscribe(tp)
+	}
+	buffer := perfBuffer(32, topics)
+	// Warm the scratch buffers and caches.
+	for i := 0; i < 3; i++ {
+		n.selectNeighbors(buffer)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		n.selectNeighbors(buffer)
+	}); avg != 0 {
+		t.Errorf("selectNeighbors allocates %.2f objects/run, want 0", avg)
+	}
+}
+
+// forwardFixture is a node with cnt fresh cluster neighbors all interested
+// in the returned topic; the neighbors are not attached to the network, so
+// draining the engine exercises only the send/drop path.
+func forwardFixture(tb testing.TB, cnt int) (*Node, TopicID) {
+	n := perfTestNode(tb, 1<<40, Params{RTSize: 15, SWLinks: 1})
+	tp := Topic("bench")
+	n.Subscribe(tp)
+	far := simnet.Time(1) << 60
+	for i := 0; i < cnt; i++ {
+		id := idspace.HashUint64(uint64(i) + 1)
+		n.reverse[id] = far
+		n.profiles[id] = &Profile{ID: id, Subs: []TopicID{tp}}
+	}
+	return n, tp
+}
+
+// TestForwardDataAllocBound pins the dissemination fan-out at one allocation
+// per call — the single boxed Notification shared by every target — instead
+// of the former one-per-target closure plus per-call map.
+func TestForwardDataAllocBound(t *testing.T) {
+	const neighbors = 12
+	n, tp := forwardFixture(t, neighbors)
+	eng := n.eng
+	ev := EventID{Publisher: n.id, Seq: 0}
+	run := func() {
+		n.forwardData(tp, ev, 0, 0, false)
+		eng.RunUntil(eng.Now() + 1) // flush the deliveries (drops)
+	}
+	for i := 0; i < 50; i++ {
+		run() // warm scratch, queue capacity, and drop path
+	}
+	if avg := testing.AllocsPerRun(100, run); avg > 1.5 {
+		t.Errorf("forwardData allocates %.2f objects/run for %d targets, want ~1 (one boxed message)",
+			avg, neighbors)
+	}
+}
+
+func BenchmarkSelectNeighbors(b *testing.B) {
+	n := perfTestNode(b, 1<<40, Params{RTSize: 15, SWLinks: 1, NetworkSizeEstimate: 1024})
+	topics := perfTopics(16)
+	for _, tp := range topics[:8] {
+		n.Subscribe(tp)
+	}
+	buffer := perfBuffer(32, topics)
+	n.selectNeighbors(buffer)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.selectNeighbors(buffer)
+	}
+}
+
+func BenchmarkForwardData(b *testing.B) {
+	n, tp := forwardFixture(b, 12)
+	eng := n.eng
+	ev := EventID{Publisher: n.id, Seq: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.forwardData(tp, ev, 0, 0, false)
+		eng.RunUntil(eng.Now() + 1)
+	}
+}

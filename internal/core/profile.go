@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+	"slices"
 	"sort"
 
 	"vitis/internal/simnet"
@@ -87,6 +89,14 @@ type relayState struct {
 	rendezvous   bool
 	rendezExpiry simnet.Time
 	children     map[NodeID]simnet.Time // child -> lease expiry
+
+	// childCache memoizes freshChildren between mutations: dissemination
+	// asks for the child list once per notification, but the set only
+	// changes when a relay lookup refreshes a lease (invalidateChildren)
+	// or when the earliest cached lease expires (childCacheUntil).
+	childCache      []NodeID
+	childCacheValid bool
+	childCacheUntil simnet.Time
 }
 
 func (rs *relayState) freshParent(now simnet.Time) (NodeID, bool) {
@@ -96,16 +106,32 @@ func (rs *relayState) freshParent(now simnet.Time) (NodeID, bool) {
 	return 0, false
 }
 
+// freshChildren returns the sorted live children. The returned slice is
+// owned by the state (callers copy what they keep) and valid until the next
+// mutation or lease expiry.
 func (rs *relayState) freshChildren(now simnet.Time) []NodeID {
-	var out []NodeID
+	if rs.childCacheValid && now < rs.childCacheUntil {
+		return rs.childCache
+	}
+	out := rs.childCache[:0]
+	until := simnet.Time(math.MaxInt64)
 	for c, exp := range rs.children {
 		if exp > now {
 			out = append(out, c)
+			if exp < until {
+				until = exp
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	rs.childCache = out
+	rs.childCacheValid = true
+	rs.childCacheUntil = until
 	return out
 }
+
+// invalidateChildren must be called after any write to rs.children.
+func (rs *relayState) invalidateChildren() { rs.childCacheValid = false }
 
 // expired reports whether the state carries no live information at all.
 func (rs *relayState) expired(now simnet.Time) bool {

@@ -65,6 +65,7 @@ func (n *Node) handleRelay(from NodeID, m RelayMsg) {
 		rs.children = make(map[NodeID]simnet.Time)
 	}
 	rs.children[from] = now + n.params.RelayLease
+	rs.invalidateChildren()
 
 	next, ok := n.closestNeighborTo(m.Topic)
 	if !ok {
@@ -96,7 +97,7 @@ func (n *Node) handleRelay(from NodeID, m RelayMsg) {
 // closest (lookup termination).
 func (n *Node) closestNeighborTo(target idspace.ID) (NodeID, bool) {
 	best := n.id
-	for _, d := range n.xchg.RT() {
+	for _, d := range n.xchg.RTRef() {
 		if idspace.Closer(d.ID, best, target) {
 			best = d.ID
 		}

@@ -3,7 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"vitis/internal/idspace"
 	"vitis/internal/tman"
@@ -13,27 +13,83 @@ import (
 // mass of the subscription intersection divided by that of the union.
 // rate(t) weights each topic; a nil rate function means uniform rates, which
 // reduces the utility to the Jaccard overlap. mySubs is a set, theirSubs a
-// sorted list (as carried in profiles).
+// sorted duplicate-free list (as carried in profiles).
+//
+// Weights are accumulated in sorted topic order, so the result is a pure
+// function of the set contents: the previous implementation iterated mySubs
+// in Go map order, which with a non-uniform rate function could flip the
+// low bits of the sum — and thus the neighbor ranking — between runs of the
+// same seed.
 func Utility(mySubs map[TopicID]bool, theirSubs []TopicID, rate func(TopicID) float64) float64 {
-	if len(mySubs) == 0 && len(theirSubs) == 0 {
+	mine := make([]TopicID, 0, len(mySubs))
+	for t := range mySubs {
+		mine = append(mine, t)
+	}
+	slices.Sort(mine)
+	return utilitySorted(mine, weightSum(mine, rate), theirSubs, rate)
+}
+
+// weightSum is the rate mass of a subscription list, accumulated in list
+// order (callers pass sorted lists, making the float sum deterministic).
+func weightSum(ts []TopicID, rate func(TopicID) float64) float64 {
+	if rate == nil {
+		return float64(len(ts))
+	}
+	var s float64
+	for _, t := range ts {
+		s += rate(t)
+	}
+	return s
+}
+
+// utilitySorted is the allocation-free core of Eq. 1: a two-pointer merge of
+// two sorted subscription lists. myWeight must be weightSum(mine, rate) —
+// the node caches it instead of re-deriving it per candidate per round.
+// Intersection and "their" mass accumulate in theirs-order, exactly as the
+// map-based implementation did, so results are bit-identical for sorted
+// inputs (and deterministic, unlike map iteration, for the "mine" mass).
+func utilitySorted(mine []TopicID, myWeight float64, theirs []TopicID, rate func(TopicID) float64) float64 {
+	if len(mine) == 0 && len(theirs) == 0 {
 		return 0
 	}
-	r := rate
-	if r == nil {
-		r = func(TopicID) float64 { return 1 }
-	}
-	var inter, mine, theirs float64
-	for t := range mySubs {
-		mine += r(t)
-	}
-	for _, t := range theirSubs {
-		w := r(t)
-		theirs += w
-		if mySubs[t] {
-			inter += w
+	var inter, theirsW float64
+	i, j := 0, 0
+	if rate == nil {
+		n := 0
+		for i < len(mine) && j < len(theirs) {
+			switch {
+			case mine[i] == theirs[j]:
+				n++
+				i++
+				j++
+			case mine[i] < theirs[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		inter, theirsW = float64(n), float64(len(theirs))
+	} else {
+		for i < len(mine) && j < len(theirs) {
+			switch {
+			case mine[i] == theirs[j]:
+				w := rate(theirs[j])
+				inter += w
+				theirsW += w
+				i++
+				j++
+			case mine[i] < theirs[j]:
+				i++
+			default:
+				theirsW += rate(theirs[j])
+				j++
+			}
+		}
+		for ; j < len(theirs); j++ {
+			theirsW += rate(theirs[j])
 		}
 	}
-	union := mine + theirs - inter
+	union := myWeight + theirsW - inter
 	if union <= 0 {
 		return 0
 	}
@@ -60,10 +116,64 @@ func harmonicDistance(rng *rand.Rand, n int) uint64 {
 	return uint64(d)
 }
 
+// scored pairs a candidate with its computed preference for the friend
+// ranking; kept in a reusable per-node scratch slice.
+type scored struct {
+	d tman.Descriptor
+	u float64
+}
+
+// selScratch holds selectNeighbors' reusable buffers. One instance per node;
+// valid because a node is single-threaded and selection never re-enters
+// itself (see DESIGN.md "Performance").
+type selScratch struct {
+	used     map[NodeID]bool
+	rest     []scored
+	selected []tman.Descriptor
+}
+
+// argmin key modes for the ring/small-world slots of Algorithm 4.
+const (
+	keySuccessor = iota
+	keyPredecessor
+	keySmallWorld
+)
+
+// argminBy returns the unused candidate minimising the Algorithm-4 key for
+// the given slot kind; ties break on id for determinism. A switch on kind
+// instead of a key closure keeps the per-round path free of closure
+// allocations.
+func argminBy(kind int, self, target idspace.ID, buffer []tman.Descriptor, used map[NodeID]bool) (tman.Descriptor, bool) {
+	var best tman.Descriptor
+	bestKey := uint64(math.MaxUint64)
+	found := false
+	for _, d := range buffer {
+		if used[d.ID] {
+			continue
+		}
+		var k uint64
+		switch kind {
+		case keySuccessor:
+			k = idspace.CWDistance(self, d.ID)
+		case keyPredecessor:
+			k = idspace.CWDistance(d.ID, self)
+		default:
+			k = idspace.Distance(d.ID, target)
+		}
+		if !found || k < bestKey || (k == bestKey && d.ID < best.ID) {
+			best, bestKey, found = d, k, true
+		}
+	}
+	return best, found
+}
+
 // selectNeighbors is Algorithm 4. Given the deduplicated candidate buffer
 // (never containing self), it picks the successor, the predecessor, k
 // sw-neighbors at harmonically drawn distances, and fills the remaining
 // slots with the highest-utility friends.
+//
+// The returned slice is owned by the node's scratch and valid until the next
+// call; the T-Man exchanger copies what it keeps.
 func (n *Node) selectNeighbors(buffer []tman.Descriptor) []tman.Descriptor {
 	if len(buffer) == 0 {
 		return nil
@@ -87,65 +197,71 @@ func (n *Node) selectNeighbors(buffer []tman.Descriptor) []tman.Descriptor {
 		return nil
 	}
 
-	selected := make([]tman.Descriptor, 0, n.params.RTSize)
-	used := make(map[NodeID]bool, n.params.RTSize)
-	take := func(d tman.Descriptor) {
-		selected = append(selected, d)
-		used[d.ID] = true
+	if n.sel.used == nil {
+		n.sel.used = make(map[NodeID]bool, n.params.RTSize)
 	}
+	used := n.sel.used
+	clear(used)
+	selected := n.sel.selected[:0]
 
 	// Successor: minimal clockwise distance from self (Algorithm 4 line 2).
-	if succ, ok := argmin(buffer, used, func(d tman.Descriptor) uint64 {
-		return idspace.CWDistance(n.id, d.ID)
-	}); ok {
-		take(succ)
+	if succ, ok := argminBy(keySuccessor, n.id, 0, buffer, used); ok {
+		selected = append(selected, succ)
+		used[succ.ID] = true
 	}
 	// Predecessor: minimal clockwise distance to self (line 5).
-	if pred, ok := argmin(buffer, used, func(d tman.Descriptor) uint64 {
-		return idspace.CWDistance(d.ID, n.id)
-	}); ok {
-		take(pred)
+	if pred, ok := argminBy(keyPredecessor, n.id, 0, buffer, used); ok {
+		selected = append(selected, pred)
+		used[pred.ID] = true
 	}
 	// k sw-neighbors at RANDOM-DISTANCE (line 8).
 	for i := 0; i < n.params.SWLinks; i++ {
 		target := n.id + idspace.ID(harmonicDistance(n.rng, n.params.NetworkSizeEstimate))
-		if sw, ok := argmin(buffer, used, func(d tman.Descriptor) uint64 {
-			return idspace.Distance(d.ID, target)
-		}); ok {
-			take(sw)
+		if sw, ok := argminBy(keySmallWorld, n.id, target, buffer, used); ok {
+			selected = append(selected, sw)
+			used[sw.ID] = true
 		}
 	}
 	// Friends by descending utility (lines 11–15); ties break on id for
 	// determinism. Candidates with unknown subscriptions score zero but
 	// can still fill otherwise-empty slots, keeping young overlays
 	// connected.
-	rest := make([]tman.Descriptor, 0, len(buffer))
+	mine, myWeight := n.subsView()
+	rest := n.sel.rest[:0]
 	for _, d := range buffer {
-		if !used[d.ID] {
-			rest = append(rest, d)
+		if used[d.ID] {
+			continue
 		}
-	}
-	util := make(map[NodeID]float64, len(rest))
-	for _, d := range rest {
-		u := Utility(n.subs, n.subsOf(d), n.rate)
+		u := utilitySorted(mine, myWeight, n.subsOf(d), n.rate)
 		if n.proximity != nil && n.proximityWeight > 0 {
 			u = (1-n.proximityWeight)*u + n.proximityWeight*n.proximity(d.ID)
 		}
-		util[d.ID] = u
+		rest = append(rest, scored{d: d, u: u})
 	}
-	sort.Slice(rest, func(i, j int) bool {
-		ui, uj := util[rest[i].ID], util[rest[j].ID]
-		if ui != uj {
-			return ui > uj
+	slices.SortFunc(rest, func(a, b scored) int {
+		if a.u != b.u {
+			if a.u > b.u {
+				return -1
+			}
+			return 1
 		}
-		return rest[i].ID < rest[j].ID
+		if a.d.ID < b.d.ID {
+			return -1
+		}
+		if a.d.ID > b.d.ID {
+			return 1
+		}
+		return 0
 	})
-	for _, d := range rest {
+	for _, s := range rest {
 		if len(selected) >= n.params.RTSize {
 			break
 		}
-		take(d)
+		selected = append(selected, s.d)
+		used[s.d.ID] = true
 	}
+	n.sel.rest = rest
+	n.sel.selected = selected
 	return selected
 }
 
@@ -163,20 +279,4 @@ func (n *Node) subsOf(d tman.Descriptor) []TopicID {
 		return subs
 	}
 	return nil
-}
-
-func argmin(buffer []tman.Descriptor, used map[NodeID]bool, key func(tman.Descriptor) uint64) (tman.Descriptor, bool) {
-	var best tman.Descriptor
-	bestKey := uint64(math.MaxUint64)
-	found := false
-	for _, d := range buffer {
-		if used[d.ID] {
-			continue
-		}
-		k := key(d)
-		if !found || k < bestKey || (k == bestKey && d.ID < best.ID) {
-			best, bestKey, found = d, k, true
-		}
-	}
-	return best, found
 }

@@ -209,6 +209,7 @@ func RunChurn(cfg ChurnRunConfig) (*ChurnResult, error) {
 
 	eng.RunUntil(end + 20*simnet.Second)
 
+	addRunTotals(eng.EventsExecuted(), net.BytesSent())
 	return &ChurnResult{Collector: col, SizeSeries: sizes}, nil
 }
 

@@ -154,6 +154,11 @@ type RunResult struct {
 	// AvgNotifLatencyMs is the mean physical latency per notification
 	// link (only populated when UseCoordinates is set).
 	AvgNotifLatencyMs float64
+	// EventsExecuted and BytesOnWire are the run's engine event count and
+	// estimated wire bytes — the raw volumes behind events/sec and
+	// bandwidth reporting (also aggregated process-wide, see Totals).
+	EventsExecuted uint64
+	BytesOnWire    uint64
 	// Collector gives access to everything else.
 	Collector *metrics.Collector
 }
@@ -356,8 +361,11 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Overhead:           col.OverheadRatio(),
 		AvgDelay:           col.AvgDelay(),
 		PerNodeOverheadPct: col.PerNodeOverheadPct(nids),
+		EventsExecuted:     eng.EventsExecuted(),
+		BytesOnWire:        net.BytesSent(),
 		Collector:          col,
 	}
+	addRunTotals(res.EventsExecuted, res.BytesOnWire)
 	if notifLinks > 0 {
 		res.AvgNotifLatencyMs = notifLatency / float64(notifLinks)
 	}

@@ -1,0 +1,27 @@
+package experiments
+
+import "sync/atomic"
+
+// runTotals accumulates engine and network counters over every simulation
+// run in the process. The benchmark harness (cmd/vitis-bench -bench-json)
+// reads them to report events/sec and bytes-on-wire without threading
+// counters through every figure driver; atomics because the sweep runner
+// executes runs on several workers.
+var runTotals struct {
+	runs   atomic.Uint64
+	events atomic.Uint64
+	bytes  atomic.Uint64
+}
+
+func addRunTotals(events, bytes uint64) {
+	runTotals.runs.Add(1)
+	runTotals.events.Add(events)
+	runTotals.bytes.Add(bytes)
+}
+
+// Totals returns the process-lifetime counters aggregated over all completed
+// runs (static and churn): number of simulation runs, discrete events
+// executed, and estimated bytes put on the wire.
+func Totals() (runs, events, bytes uint64) {
+	return runTotals.runs.Load(), runTotals.events.Load(), runTotals.bytes.Load()
+}

@@ -1,0 +1,48 @@
+// Package profiling wires the standard runtime/pprof profilers behind the
+// -cpuprofile/-memprofile flags of the command-line tools.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns a
+// stop function that finishes the CPU profile and writes an allocation
+// profile to memPath (when non-empty). Call stop exactly once, on clean
+// exit; either path may be empty to skip that profile.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the live heap before snapshotting
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

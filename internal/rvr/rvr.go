@@ -16,7 +16,7 @@ package rvr
 import (
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"vitis/internal/idspace"
 	"vitis/internal/sampling"
@@ -145,6 +145,18 @@ type Node struct {
 	hooks  Hooks
 
 	subs map[TopicID]bool
+	// subsSorted caches the sorted subscription list between changes; the
+	// heartbeat walks it every round.
+	subsSorted []TopicID
+	subsDirty  bool
+
+	// Reusable hot-path scratch, mirroring internal/core: a node is
+	// single-threaded and transports never deliver re-entrantly, so the
+	// buffers are safely reused across events (see DESIGN.md "Performance").
+	selUsed     map[NodeID]bool
+	selSelected []tman.Descriptor
+	hbIDs       []NodeID
+	spreadIDs   []NodeID
 
 	sampler *sampling.Service
 	xchg    *tman.Exchanger
@@ -183,10 +195,20 @@ func (n *Node) ID() NodeID { return n.id }
 
 // Subscribe adds a topic; the node joins the topic's tree on following
 // heartbeats.
-func (n *Node) Subscribe(t TopicID) { n.subs[t] = true }
+func (n *Node) Subscribe(t TopicID) {
+	if !n.subs[t] {
+		n.subs[t] = true
+		n.subsDirty = true
+	}
+}
 
 // Unsubscribe removes a topic; tree membership decays with the lease.
-func (n *Node) Unsubscribe(t TopicID) { delete(n.subs, t) }
+func (n *Node) Unsubscribe(t TopicID) {
+	if n.subs[t] {
+		delete(n.subs, t)
+		n.subsDirty = true
+	}
+}
 
 // Subscribed reports current subscription.
 func (n *Node) Subscribed(t TopicID) bool { return n.subs[t] }
@@ -240,7 +262,9 @@ func (n *Node) Leave() {
 func (n *Node) Alive() bool { return !n.stopped && n.net.Alive(n.id) }
 
 // selectNeighbors is the subscription-oblivious table: successor,
-// predecessor, and RTSize−2 harmonic small-world links.
+// predecessor, and RTSize−2 harmonic small-world links. The returned slice
+// is owned by the node's scratch and valid until the next call; the T-Man
+// exchanger copies what it keeps.
 func (n *Node) selectNeighbors(buffer []tman.Descriptor) []tman.Descriptor {
 	now := n.eng.Now()
 	live := buffer[:0]
@@ -254,24 +278,30 @@ func (n *Node) selectNeighbors(buffer []tman.Descriptor) []tman.Descriptor {
 	if len(buffer) == 0 {
 		return nil
 	}
-	selected := make([]tman.Descriptor, 0, n.params.RTSize)
-	used := make(map[NodeID]bool, n.params.RTSize)
-	take := func(d tman.Descriptor, ok bool) {
-		if ok {
-			selected = append(selected, d)
-			used[d.ID] = true
-		}
+	if n.selUsed == nil {
+		n.selUsed = make(map[NodeID]bool, n.params.RTSize)
 	}
-	take(argmin(buffer, used, func(d tman.Descriptor) uint64 { return idspace.CWDistance(n.id, d.ID) }))
-	take(argmin(buffer, used, func(d tman.Descriptor) uint64 { return idspace.CWDistance(d.ID, n.id) }))
+	used := n.selUsed
+	clear(used)
+	selected := n.selSelected[:0]
+	if d, ok := argminBy(keySuccessor, n.id, 0, buffer, used); ok {
+		selected = append(selected, d)
+		used[d.ID] = true
+	}
+	if d, ok := argminBy(keyPredecessor, n.id, 0, buffer, used); ok {
+		selected = append(selected, d)
+		used[d.ID] = true
+	}
 	for len(selected) < n.params.RTSize {
 		target := n.id + idspace.ID(harmonicDistance(n.rng, n.params.NetworkSizeEstimate))
-		d, ok := argmin(buffer, used, func(d tman.Descriptor) uint64 { return idspace.Distance(d.ID, target) })
+		d, ok := argminBy(keySmallWorld, n.id, target, buffer, used)
 		if !ok {
 			break
 		}
-		take(d, true)
+		selected = append(selected, d)
+		used[d.ID] = true
 	}
+	n.selSelected = selected
 	return selected
 }
 
@@ -302,15 +332,22 @@ func (n *Node) dispatch(from NodeID, msg simnet.Message) {
 // subscription, and expires tree soft state.
 func (n *Node) heartbeat() {
 	now := n.eng.Now()
-	for _, d := range n.xchg.RT() {
-		n.ages[d.ID]++
-		if n.ages[d.ID] > n.params.StaleAge {
-			n.xchg.Remove(d.ID)
-			delete(n.ages, d.ID)
-			n.suspects[d.ID] = now + 3*simnet.Time(n.params.StaleAge)*n.params.HeartbeatPeriod
+	// Snapshot the table ids into scratch: eviction below mutates the
+	// exchanger's table while we iterate.
+	rt := n.hbIDs[:0]
+	for _, d := range n.xchg.RTRef() {
+		rt = append(rt, d.ID)
+	}
+	n.hbIDs = rt
+	for _, id := range rt {
+		n.ages[id]++
+		if n.ages[id] > n.params.StaleAge {
+			n.xchg.Remove(id)
+			delete(n.ages, id)
+			n.suspects[id] = now + 3*simnet.Time(n.params.StaleAge)*n.params.HeartbeatPeriod
 			continue
 		}
-		n.net.Send(n.id, d.ID, Ping{})
+		n.net.Send(n.id, id, Ping{})
 	}
 	for id, until := range n.suspects {
 		if until <= now {
@@ -345,12 +382,16 @@ func (n *Node) heartbeat() {
 }
 
 func (n *Node) sortedSubs() []TopicID {
-	out := make([]TopicID, 0, len(n.subs))
-	for t := range n.subs {
-		out = append(out, t)
+	if n.subsDirty {
+		out := make([]TopicID, 0, len(n.subs))
+		for t := range n.subs {
+			out = append(out, t)
+		}
+		slices.Sort(out)
+		n.subsSorted = out
+		n.subsDirty = false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return n.subsSorted
 }
 
 // joinTree performs one Scribe-style join/refresh step: set the parent to
@@ -442,31 +483,40 @@ func (n *Node) handleNotification(from NodeID, m Notification) {
 	}
 }
 
-// spread forwards the event along the tree links for the topic.
+// spread forwards the event along the tree links for the topic. The target
+// set is built in a reusable scratch slice — sorted and deduplicated for
+// deterministic send order — and the notification is boxed once for the
+// whole fan-out.
 func (n *Node) spread(t TopicID, ev EventID, hops int, exclude NodeID) {
 	ts, ok := n.trees[t]
 	if !ok {
 		return
 	}
 	now := n.eng.Now()
-	targets := make(map[NodeID]bool)
+	ids := n.spreadIDs[:0]
 	if ts.hasParent && ts.parentExpiry > now {
-		targets[ts.parent] = true
+		ids = append(ids, ts.parent)
 	}
 	for c, exp := range ts.children {
 		if exp > now {
-			targets[c] = true
+			ids = append(ids, c)
 		}
 	}
-	delete(targets, exclude)
-	delete(targets, n.id)
-	ids := make([]NodeID, 0, len(targets))
-	for id := range targets {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
+	ids = slices.Compact(ids)
+	w := 0
 	for _, id := range ids {
-		n.net.Send(n.id, id, Notification{Topic: t, Event: ev, Hops: hops + 1})
+		if id == exclude || id == n.id {
+			continue
+		}
+		ids[w] = id
+		w++
+	}
+	ids = ids[:w]
+	n.spreadIDs = ids
+	msg := simnet.Message(Notification{Topic: t, Event: ev, Hops: hops + 1})
+	for _, id := range ids {
+		n.net.Send(n.id, id, msg)
 	}
 }
 
@@ -481,7 +531,7 @@ func (n *Node) treeFor(t TopicID) *treeState {
 
 func (n *Node) closestNeighborTo(target idspace.ID) (NodeID, bool) {
 	best := n.id
-	for _, d := range n.xchg.RT() {
+	for _, d := range n.xchg.RTRef() {
 		if idspace.Closer(d.ID, best, target) {
 			best = d.ID
 		}
@@ -532,7 +582,15 @@ func harmonicDistance(rng *rand.Rand, n int) uint64 {
 	return uint64(d)
 }
 
-func argmin(buffer []tman.Descriptor, used map[NodeID]bool, key func(tman.Descriptor) uint64) (tman.Descriptor, bool) {
+// argmin key modes for the table slots; a switch on kind instead of a key
+// closure keeps the per-round selection free of closure allocations.
+const (
+	keySuccessor = iota
+	keyPredecessor
+	keySmallWorld
+)
+
+func argminBy(kind int, self, target idspace.ID, buffer []tman.Descriptor, used map[NodeID]bool) (tman.Descriptor, bool) {
 	var best tman.Descriptor
 	bestKey := uint64(math.MaxUint64)
 	found := false
@@ -540,7 +598,15 @@ func argmin(buffer []tman.Descriptor, used map[NodeID]bool, key func(tman.Descri
 		if used[d.ID] {
 			continue
 		}
-		k := key(d)
+		var k uint64
+		switch kind {
+		case keySuccessor:
+			k = idspace.CWDistance(self, d.ID)
+		case keyPredecessor:
+			k = idspace.CWDistance(d.ID, self)
+		default:
+			k = idspace.Distance(d.ID, target)
+		}
 		if !found || k < bestKey || (k == bestKey && d.ID < best.ID) {
 			best, bestKey, found = d, k, true
 		}

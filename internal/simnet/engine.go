@@ -10,7 +10,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"math/rand"
 	"sync/atomic"
 )
@@ -26,42 +25,115 @@ const (
 	Hour        Time = 60 * Minute
 )
 
+// event is one queue entry. It is either a plain callback (fn != nil) or a
+// typed message delivery (net != nil): Network.Send stores the delivery
+// parameters inline instead of allocating a capturing closure per message,
+// which keeps the simulator's hottest path allocation-free apart from the
+// message value itself.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+
+	net      *Network
+	from, to NodeID
+	msg      Message
 }
 
-type eventHeap []event
+// eventQueue is a 4-ary min-heap of concrete event values ordered by
+// (at, seq). Compared with container/heap it avoids the interface boxing of
+// every Push/Pop (one allocation per scheduled event) and the dynamic
+// Less/Swap calls; the wider fan-out halves the tree depth, which matters
+// because sift-down dominates pop cost. (time, seq) is a total order — seq
+// is unique — so any correct heap pops events in exactly the same sequence
+// as the old container/heap implementation.
+type eventQueue struct {
+	ev []event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// shrinkMinCap is the smallest backing capacity the queue will bother
+// shrinking; below it the memory is noise.
+const shrinkMinCap = 1024
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 
-// Pop zeroes the vacated slot before shrinking: the backing array outlives
-// the pop, and a stale event would pin its callback closure (and everything
-// the closure captures) until the slot is overwritten — a real leak over
-// long runs with a deep queue.
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+func (q *eventQueue) push(e event) {
+	// Sift up by sliding parents down into the hole left by the new slot —
+	// one struct copy per level instead of a two-copy swap.
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !before(&e, &q.ev[parent]) {
+			break
+		}
+		q.ev[i] = q.ev[parent]
+		i = parent
+	}
+	q.ev[i] = e
+}
+
+// pop removes and returns the minimum event. The vacated slot is zeroed
+// before shrinking: the backing array outlives the pop, and a stale event
+// would pin its callback closure (or delivered message) until the slot is
+// overwritten — a real leak over long runs with a deep queue. When a churn
+// burst has drained and the queue occupies a small fraction of a large
+// backing array, the array itself is released too.
+func (q *eventQueue) pop() event {
+	n := len(q.ev) - 1
+	root := q.ev[0]
+	tail := q.ev[n]
+	q.ev[n] = event{}
+	q.ev = q.ev[:n]
+	if n > 0 {
+		// Sift the root hole down, sliding the smallest child up one copy
+		// per level, until the old tail element fits.
+		i := 0
+		for {
+			first := 4*i + 1
+			if first >= n {
+				break
+			}
+			min := first
+			last := first + 4
+			if last > n {
+				last = n
+			}
+			for c := first + 1; c < last; c++ {
+				if before(&q.ev[c], &q.ev[min]) {
+					min = c
+				}
+			}
+			if !before(&q.ev[min], &tail) {
+				break
+			}
+			q.ev[i] = q.ev[min]
+			i = min
+		}
+		q.ev[i] = tail
+	}
+	// Release pinned capacity once the queue has drained to a quarter of a
+	// large backing array (e.g. after a churn burst's timers expire).
+	if c := cap(q.ev); c >= shrinkMinCap && len(q.ev) <= c/4 {
+		shrunk := make([]event, len(q.ev), c/2)
+		copy(shrunk, q.ev)
+		q.ev = shrunk
+	}
+	return root
 }
 
 // Engine is a deterministic discrete-event scheduler.
 type Engine struct {
 	now  Time
 	seq  uint64
-	pq   eventHeap
+	pq   eventQueue
 	rng  *rand.Rand
 	seed int64
 
@@ -105,7 +177,18 @@ func (e *Engine) ScheduleAt(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+	e.pq.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// scheduleDelivery queues a typed message-delivery event after delay. It is
+// the allocation-free counterpart of Schedule for Network.Send: the delivery
+// parameters live inline in the heap slot instead of a per-message closure.
+func (e *Engine) scheduleDelivery(delay Time, net *Network, from, to NodeID, msg Message) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	e.pq.push(event{at: e.now + delay, seq: e.seq, net: net, from: from, to: to, msg: msg})
 }
 
 // Every schedules fn to run repeatedly with the given period, starting after
@@ -128,13 +211,17 @@ func (e *Engine) Every(period Time, fn func() bool) {
 
 // Step executes the next event; it reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	if e.pq.Len() == 0 {
+	if e.pq.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.pq.pop()
 	e.now = ev.at
 	e.executed.Add(1)
-	ev.fn()
+	if ev.net != nil {
+		ev.net.deliver(ev.from, ev.to, ev.msg)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 
@@ -145,7 +232,7 @@ func (e *Engine) EventsExecuted() uint64 { return e.executed.Load() }
 // RunUntil executes events until the clock would pass t; afterwards the
 // clock reads exactly t. Events scheduled at exactly t are executed.
 func (e *Engine) RunUntil(t Time) {
-	for e.pq.Len() > 0 && e.pq[0].at <= t {
+	for e.pq.len() > 0 && e.pq.ev[0].at <= t {
 		e.Step()
 	}
 	if e.now < t {
@@ -165,14 +252,14 @@ func (e *Engine) Drain(maxEvents int) int {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.pq.Len() }
+func (e *Engine) Pending() int { return e.pq.len() }
 
 // NextAt returns the time of the earliest queued event. The second return
 // is false when the queue is empty. Real-time drivers use this to sleep
 // until the next event is due instead of busy-stepping.
 func (e *Engine) NextAt() (Time, bool) {
-	if e.pq.Len() == 0 {
+	if e.pq.len() == 0 {
 		return 0, false
 	}
-	return e.pq[0].at, true
+	return e.pq.ev[0].at, true
 }

@@ -215,8 +215,8 @@ func TestPopReleasesEventSlot(t *testing.T) {
 		e.Schedule(Time(i), func() {})
 	}
 	for e.Step() {
-		tail := e.pq[:cap(e.pq)][len(e.pq)]
-		if tail.fn != nil || tail.at != 0 || tail.seq != 0 {
+		tail := e.pq.ev[:cap(e.pq.ev)][len(e.pq.ev)]
+		if tail.fn != nil || tail.at != 0 || tail.seq != 0 || tail.net != nil || tail.msg != nil {
 			t.Fatalf("popped slot not zeroed: %+v", tail)
 		}
 	}

@@ -188,21 +188,27 @@ func (n *Network) Send(from, to NodeID, msg Message) {
 		}
 		return
 	}
-	n.eng.Schedule(d, func() {
-		h, ok := n.nodes[to]
-		if !ok {
-			n.dropped++
-			for _, o := range n.obs {
-				o.OnDrop(from, to, msg)
-			}
-			return
-		}
-		n.delivered++
+	// Typed delivery event: the parameters ride inline in the engine's heap
+	// slot instead of a capturing closure allocated per message.
+	n.eng.scheduleDelivery(d, n, from, to, msg)
+}
+
+// deliver hands an in-flight message to its destination when its latency
+// elapses; the engine invokes it from the typed delivery event.
+func (n *Network) deliver(from, to NodeID, msg Message) {
+	h, ok := n.nodes[to]
+	if !ok {
+		n.dropped++
 		for _, o := range n.obs {
-			o.OnDeliver(from, to, msg)
+			o.OnDrop(from, to, msg)
 		}
-		h.Deliver(from, msg)
-	})
+		return
+	}
+	n.delivered++
+	for _, o := range n.obs {
+		o.OnDeliver(from, to, msg)
+	}
+	h.Deliver(from, msg)
 }
 
 // Stats returns the lifetime (sent, delivered, dropped) message counters.

@@ -1,0 +1,232 @@
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refHeap reimplement the engine's original container/heap event
+// queue. The specialized 4-ary heap must pop the exact (time, seq) sequence
+// this reference produces — the total order the whole repo's determinism
+// contract is pinned to.
+type refEvent struct {
+	at  Time
+	seq uint64
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// TestQueueMatchesContainerHeapProperty drives the specialized queue and the
+// container/heap reference with identical randomized Schedule / ScheduleAt /
+// Every-shaped workloads (interleaved pushes and pops, duplicate timestamps,
+// past timestamps) and asserts the pop sequences are identical.
+func TestQueueMatchesContainerHeapProperty(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var q eventQueue
+		ref := &refHeap{}
+		var seq uint64
+		var now Time
+
+		push := func(at Time) {
+			if at < now {
+				at = now
+			}
+			seq++
+			q.push(event{at: at, seq: seq})
+			heap.Push(ref, refEvent{at: at, seq: seq})
+		}
+		popBoth := func() {
+			got := q.pop()
+			want := heap.Pop(ref).(refEvent)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("trial %d: pop mismatch: got (%d,%d) want (%d,%d)",
+					trial, got.at, got.seq, want.at, want.seq)
+			}
+			now = got.at
+		}
+
+		ops := 200 + rng.Intn(800)
+		for i := 0; i < ops; i++ {
+			switch {
+			case q.len() == 0 || rng.Intn(3) != 0:
+				switch rng.Intn(3) {
+				case 0: // Schedule-style: relative delay.
+					push(now + Time(rng.Int63n(100)))
+				case 1: // ScheduleAt-style, possibly in the past.
+					push(Time(rng.Int63n(500)))
+				default: // Every-style: burst at one instant (FIFO ties).
+					at := now + Time(rng.Int63n(50))
+					for j := 0; j < 1+rng.Intn(5); j++ {
+						push(at)
+					}
+				}
+			default:
+				popBoth()
+			}
+		}
+		for q.len() > 0 {
+			if q.len() != ref.Len() {
+				t.Fatalf("trial %d: length mismatch %d vs %d", trial, q.len(), ref.Len())
+			}
+			popBoth()
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("trial %d: reference has %d leftover events", trial, ref.Len())
+		}
+	}
+}
+
+// TestEngineMatchesReferenceOrder runs a full Engine workload and checks the
+// executed (time, seq)-order against the reference heap fed with the same
+// schedule.
+func TestEngineMatchesReferenceOrder(t *testing.T) {
+	e := NewEngine(7)
+	ref := &refHeap{}
+	var got []Time
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		at := Time(rng.Int63n(10_000))
+		e.ScheduleAt(at, func() { got = append(got, e.Now()) })
+		heap.Push(ref, refEvent{at: at, seq: uint64(i + 1)})
+	}
+	for e.Step() {
+	}
+	if len(got) != 500 {
+		t.Fatalf("executed %d events, want 500", len(got))
+	}
+	for i := range got {
+		want := heap.Pop(ref).(refEvent)
+		if got[i] != want.at {
+			t.Fatalf("event %d ran at %d, reference says %d", i, got[i], want.at)
+		}
+	}
+}
+
+// TestQueueReleasesCapacityAfterDrain models a churn burst: a large spike of
+// queued timers that then drains. Once the queue occupies a quarter of a
+// large backing array, pop must reallocate to a smaller one instead of
+// pinning the spike's memory forever. Extends the Pop slot-zeroing test,
+// which covers the per-slot leak; this covers the whole-array leak.
+func TestQueueReleasesCapacityAfterDrain(t *testing.T) {
+	var q eventQueue
+	const burst = 8192
+	for i := 0; i < burst; i++ {
+		q.push(event{at: Time(i), seq: uint64(i + 1)})
+	}
+	peak := cap(q.ev)
+	if peak < burst {
+		t.Fatalf("cap %d after %d pushes", peak, burst)
+	}
+	var last Time = -1
+	for q.len() > 0 {
+		e := q.pop()
+		if e.at < last {
+			t.Fatalf("order violated during shrink: %d after %d", e.at, last)
+		}
+		last = e.at
+	}
+	if cap(q.ev) >= peak/4 {
+		t.Errorf("drained queue still pins cap %d (peak %d); want shrink", cap(q.ev), peak)
+	}
+}
+
+// TestQueueShrinkKeepsSmallQueues ensures the shrink heuristic leaves small
+// backing arrays alone (no churn of tiny allocations).
+func TestQueueShrinkKeepsSmallQueues(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 64; i++ {
+		q.push(event{at: Time(i), seq: uint64(i + 1)})
+	}
+	grown := cap(q.ev)
+	for q.len() > 0 {
+		q.pop()
+	}
+	if cap(q.ev) != grown {
+		t.Errorf("small queue reallocated: cap %d -> %d", grown, cap(q.ev))
+	}
+}
+
+// TestScheduleStepAllocFree pins the scheduler's steady state at zero
+// allocations per schedule+step cycle (no interface boxing, no closure for
+// deliveries). The fn here is a pre-built closure, as in Every's ticker.
+func TestScheduleStepAllocFree(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	// Warm the queue so append growth is out of the way.
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(3, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+step allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestSendDeliverAllocFree pins Network.Send's fast path: beyond the boxing
+// of the message value itself (paid by the caller's conversion to Message),
+// queueing and delivering must not allocate.
+func TestSendDeliverAllocFree(t *testing.T) {
+	e := NewEngine(1)
+	net := NewNetwork(e, ConstantLatency(1))
+	net.Attach(2, HandlerFunc(func(NodeID, Message) {}))
+	msg := Message(struct{}{}) // pre-boxed: measure the network, not the caller
+	for i := 0; i < 1024; i++ {
+		net.Send(1, 2, msg)
+	}
+	for e.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		net.Send(1, 2, msg)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("send+deliver allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// BenchmarkEngineSchedule is the scheduler micro-benchmark pinned by
+// BENCH_PR4.json: one Schedule + one Step per iteration against a queue kept
+// at depth ~1000, the regime a mid-size simulation runs in.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 1000; i++ {
+		e.Schedule(Time(i%997), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%997), fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineSendDeliver measures the typed-delivery path end to end.
+func BenchmarkEngineSendDeliver(b *testing.B) {
+	e := NewEngine(1)
+	net := NewNetwork(e, ConstantLatency(1))
+	net.Attach(2, HandlerFunc(func(NodeID, Message) {}))
+	msg := Message(struct{}{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(1, 2, msg)
+		e.Step()
+	}
+}

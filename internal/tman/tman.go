@@ -173,6 +173,14 @@ func (x *Exchanger) RT() []Descriptor {
 	return append([]Descriptor(nil), x.rt...)
 }
 
+// RTRef returns the live routing table without copying. The slice is
+// read-only and only valid until the next exchange, Remove or ForceSelect;
+// hot paths that walk the table every message use it to stay allocation-free.
+func (x *Exchanger) RTRef() []Descriptor { return x.rt }
+
+// Len returns the current routing-table size without copying it.
+func (x *Exchanger) Len() int { return len(x.rt) }
+
 // Contains reports whether id is currently in the routing table.
 func (x *Exchanger) Contains(id simnet.NodeID) bool {
 	for _, d := range x.rt {
