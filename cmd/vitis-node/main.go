@@ -36,12 +36,15 @@ import (
 	"syscall"
 	"time"
 
+	"math/rand"
+
 	"vitis/internal/bootstrap"
 	"vitis/internal/core"
 	"vitis/internal/idspace"
 	"vitis/internal/simnet"
 	"vitis/internal/telemetry"
 	"vitis/internal/transport"
+	"vitis/internal/transport/chaos"
 )
 
 func main() {
@@ -55,6 +58,8 @@ func main() {
 	want := flag.Int("want", 8, "peers requested from the bootstrap server")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty = off)")
 	tracePath := flag.String("trace", "", "append hop-level JSONL spans to this file (empty = off)")
+	chaosSpec := flag.String("chaos", os.Getenv("VITIS_CHAOS"),
+		"fault-injection scenario, e.g. 'drop=0.2,delay=5ms-30ms;island@5s+10s' (default $VITIS_CHAOS)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "vitis-node: unexpected argument %q\n", flag.Arg(0))
@@ -78,6 +83,7 @@ func main() {
 		want:        *want,
 		metricsAddr: *metricsAddr,
 		tracePath:   *tracePath,
+		chaosSpec:   *chaosSpec,
 	}); err != nil {
 		fatalf("%v", err)
 	}
@@ -94,6 +100,7 @@ type config struct {
 	seed, periodMs                    int64
 	want                              int
 	metricsAddr, tracePath            string
+	chaosSpec                         string
 }
 
 func run(cfg config) error {
@@ -120,8 +127,25 @@ func run(cfg config) error {
 	}
 	defer udp.Close()
 
+	// With a -chaos scenario the node's own traffic runs through the fault
+	// injector; the controller's counters land on /metrics as vitis_chaos_*.
+	// Resolve's hellos talk to the socket directly and stay fault-free, so
+	// a node can always discover its bootstrap id before chaos begins.
+	var carrier transport.Transport = udp
+	var ctl *chaos.Controller
+	if cfg.chaosSpec != "" {
+		scen, err := chaos.ParseScenario(cfg.chaosSpec)
+		if err != nil {
+			return err
+		}
+		ctl = scen.Controller(telemetry.NewChaosMetrics(reg))
+		defer ctl.Close()
+		carrier = ctl.Wrap(udp)
+		fmt.Printf("chaos enabled: %s\n", scen)
+	}
+
 	eng := simnet.NewEngine(cfg.seed)
-	host := transport.NewHost(eng, udp, telemetry.NewHostMetrics(reg))
+	host := transport.NewHost(eng, carrier, telemetry.NewHostMetrics(reg))
 	self := idspace.HashUint64(uint64(cfg.seed))
 	period := simnet.Time(cfg.periodMs)
 
@@ -162,7 +186,7 @@ func run(cfg config) error {
 		fmt.Printf("bootstrap %s is node %016x\n", cfg.bootAddr, uint64(bsID))
 		nodeCfg := nodeConfig{
 			self: self, bsID: bsID, subscribe: cfg.subscribe,
-			pubRate: cfg.pubRate, period: period, want: cfg.want,
+			pubRate: cfg.pubRate, period: period, want: cfg.want, seed: cfg.seed,
 			metrics: telemetry.NewNodeMetrics(reg), tracer: tracer, joined: &joined,
 		}
 		if err := setupNode(eng, host, nodeCfg); err != nil {
@@ -185,6 +209,11 @@ func run(cfg config) error {
 		defer wg.Done()
 		sigusrLoop(ctx, reg)
 	}()
+	if ctl != nil {
+		// Arm scheduled partitions now that the node's id is attached, so
+		// member-less partition clauses isolate this process.
+		ctl.Start()
+	}
 	transport.NewDriver(host).Run(ctx)
 
 	// Shutdown: the driver returned because ctx was cancelled. Drain the
@@ -250,20 +279,30 @@ type nodeConfig struct {
 	pubRate   float64
 	period    simnet.Time
 	want      int
+	seed      int64
 	metrics   *telemetry.NodeMetrics
 	tracer    *telemetry.Tracer
 	joined    *atomic.Bool
 }
 
 // setupNode builds the Vitis node and schedules the wire-level join dance:
-// send JoinReq to the bootstrap server (retrying every round) until a
+// send JoinReq to the bootstrap server — paced by jittered exponential
+// backoff, so rebooting fleets do not hammer it in lockstep — until a
 // JoinResp arrives, then enter the overlay with the returned peers and keep
-// the registration fresh with periodic Announces.
+// the registration fresh with jittered periodic Announces.
+//
+// After joining, an isolation monitor watches for the node losing every
+// neighbor (a long partition makes both sides evict each other, and nobody
+// dials back on its own — see docs/OPERATIONS.md). An isolated node falls
+// back to the bootstrap server with the same backoff schedule and re-enters
+// through core.Node.Rejoin, which also requests an event replay from the
+// fresh peers to close the gap the outage left.
 func setupNode(eng *simnet.Engine, host *transport.Host, cfg nodeConfig) error {
 	self := cfg.self
 	node := core.NewNode(host, self, core.Params{
 		GossipPeriod:    cfg.period,
 		HeartbeatPeriod: cfg.period,
+		Recovery:        true,
 	}, core.Hooks{
 		OnDeliver: func(n core.NodeID, topic core.TopicID, ev core.EventID, hops int) {
 			fmt.Printf("DELIVER node=%016x topic=%016x event=%016x:%d hops=%d\n",
@@ -281,8 +320,42 @@ func setupNode(eng *simnet.Engine, host *transport.Host, cfg nodeConfig) error {
 		}
 	}
 
-	// Until the JoinResp arrives, a provisional handler occupies our id;
-	// node.Join replaces it with the node itself.
+	// All state below is touched only on the driver goroutine (every engine
+	// callback and inbound message runs there), except joined, which
+	// /healthz reads and is therefore atomic.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	bo := transport.Backoff{
+		Base:   time.Duration(cfg.period) * time.Millisecond,
+		Max:    30 * time.Second,
+		Jitter: 0.5,
+	}
+	// backoffDelay converts a retry delay to engine time, never below one
+	// tick.
+	backoffDelay := func(attempt int) simnet.Time {
+		d := simnet.Time(bo.Delay(attempt, rng) / time.Millisecond)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	rejoining := false
+
+	// Once joined, this composite handler fronts the node: JoinResps feed
+	// the rejoin dance, everything else goes to the protocol stack.
+	steady := simnet.HandlerFunc(func(from simnet.NodeID, msg simnet.Message) {
+		if resp, ok := msg.(bootstrap.JoinResp); ok {
+			if rejoining {
+				rejoining = false
+				node.Rejoin(resp.Peers)
+				fmt.Printf("rejoined with %d peers\n", len(resp.Peers))
+			}
+			return
+		}
+		node.Deliver(from, msg)
+	})
+
+	// Until the first JoinResp arrives, a provisional handler occupies our
+	// id; node.Join installs the bare node, which the composite replaces.
 	host.Attach(self, simnet.HandlerFunc(func(from simnet.NodeID, msg simnet.Message) {
 		resp, ok := msg.(bootstrap.JoinResp)
 		if !ok || cfg.joined.Load() {
@@ -290,22 +363,49 @@ func setupNode(eng *simnet.Engine, host *transport.Host, cfg nodeConfig) error {
 		}
 		cfg.joined.Store(true)
 		node.Join(resp.Peers)
+		host.Attach(self, steady)
 		fmt.Printf("joined with %d peers\n", len(resp.Peers))
 	}))
-	eng.Schedule(0, func() { host.Send(self, cfg.bsID, bootstrap.JoinReq{Want: cfg.want}) })
-	eng.Every(cfg.period, func() bool {
+	var tryJoin func(attempt int)
+	tryJoin = func(attempt int) {
 		if cfg.joined.Load() {
-			return false
+			return
 		}
 		host.Send(self, cfg.bsID, bootstrap.JoinReq{Want: cfg.want})
+		eng.Schedule(backoffDelay(attempt), func() { tryJoin(attempt + 1) })
+	}
+	eng.Schedule(0, func() { tryJoin(0) })
+
+	// Isolation monitor: a joined node with an empty routing table and no
+	// fresh heartbeat peers re-runs the join dance against the bootstrap
+	// server, backoff and all.
+	var tryRejoin func(attempt int)
+	tryRejoin = func(attempt int) {
+		if !rejoining {
+			return
+		}
+		host.Send(self, cfg.bsID, bootstrap.JoinReq{Want: cfg.want})
+		eng.Schedule(backoffDelay(attempt), func() { tryRejoin(attempt + 1) })
+	}
+	eng.Every(2*cfg.period, func() bool {
+		if cfg.joined.Load() && !rejoining && node.Isolated() {
+			rejoining = true
+			fmt.Printf("isolated; rejoining via bootstrap %016x\n", uint64(cfg.bsID))
+			tryRejoin(0)
+		}
 		return true
 	})
-	eng.Every(10*cfg.period, func() bool {
+
+	// Registration refresh, jittered by up to one period so co-started
+	// nodes spread their Announces across the lease window.
+	var announce func()
+	announce = func() {
 		if cfg.joined.Load() {
 			host.Send(self, cfg.bsID, bootstrap.Announce{})
 		}
-		return true
-	})
+		eng.Schedule(10*cfg.period+simnet.Time(rng.Int63n(int64(cfg.period)+1)), announce)
+	}
+	eng.Schedule(10*cfg.period, announce)
 
 	if cfg.pubRate > 0 && len(topics) > 0 {
 		interval := simnet.Time(1000 / cfg.pubRate)

@@ -43,6 +43,9 @@ func (n *Node) Publish(t TopicID) EventID {
 	n.pubSeq++
 	n.seen.add(ev)
 	n.tel.Published.Inc()
+	if n.params.Recovery {
+		n.recordRecent(t, ev, 0, false)
+	}
 	n.tracer.Emit(telemetry.SpanEvent{
 		Kind: telemetry.KindPublish, Node: uint64(n.id),
 		Topic: uint64(t), Pub: uint64(ev.Publisher), Seq: ev.Seq,
@@ -74,6 +77,12 @@ func (n *Node) handleNotification(from NodeID, m Notification) {
 		n.hooks.OnNotification(n.id, m.Topic, interested)
 	}
 	dup := n.seen.has(m.Event)
+	if !dup && n.params.Recovery && n.inRecent(m.Topic, m.Event) {
+		// Replayed events can outlive the seen-set generations; the replay
+		// ring is the long-memory dedup that keeps resurrected history
+		// from recirculating (see recovery.go).
+		dup = true
+	}
 	n.tracer.Emit(telemetry.SpanEvent{
 		Kind: telemetry.KindRecv, Node: uint64(n.id), Peer: uint64(from),
 		Topic: uint64(m.Topic), Pub: uint64(m.Event.Publisher), Seq: m.Event.Seq,
@@ -84,6 +93,9 @@ func (n *Node) handleNotification(from NodeID, m Notification) {
 		return
 	}
 	n.seen.add(m.Event)
+	if n.params.Recovery && interested {
+		n.recordRecent(m.Topic, m.Event, m.Hops, m.HasData)
+	}
 	if interested {
 		n.tel.Deliveries.Inc()
 		n.tel.DeliveryHops.Observe(float64(m.Hops))

@@ -75,6 +75,25 @@ type Node struct {
 	// keep circulating in gossip buffers for a while, so selection must
 	// refuse them until the suspicion expires (or they speak again).
 	suspects map[NodeID]simnet.Time
+	// lost remembers evicted peers (bounded) past the suspicion tombstone,
+	// so a peer returning after a long partition is still recognized as a
+	// recovery rather than a stranger (see recovery.go).
+	lost map[NodeID]simnet.Time
+	// recent retains a bounded ring of events per subscribed topic for
+	// replay to recovering peers (Params.Recovery only).
+	recent map[TopicID][]replayRecord
+	// replayAsk counts the replay requests still owed to each recovered
+	// peer: requests travel over the same lossy links that caused the
+	// outage, so each peer is asked a bounded number of times on the
+	// heartbeat cadence (duplicate answers die in the dedup layer).
+	replayAsk map[NodeID]int
+	// aeRounds and aeIndex pace the anti-entropy sweep: every
+	// AntiEntropyRounds heartbeats, one rotating neighbor is asked for a
+	// replay (Params.Recovery only).
+	aeRounds, aeIndex int
+	// wasIsolated flags that the node found itself with no live neighbor;
+	// the first profile to arrive afterwards triggers a replay request.
+	wasIsolated bool
 
 	// Gateway election state (Algorithm 5).
 	proposals map[TopicID]Proposal
@@ -120,6 +139,9 @@ func NewNode(net simnet.Net, id NodeID, params Params, hooks Hooks) *Node {
 		reverse:     make(map[NodeID]simnet.Time),
 		knownSubs:   make(map[NodeID]SubsSummary),
 		suspects:    make(map[NodeID]simnet.Time),
+		lost:        make(map[NodeID]simnet.Time),
+		recent:      make(map[TopicID][]replayRecord),
+		replayAsk:   make(map[NodeID]int),
 		proposals:   make(map[TopicID]Proposal),
 		relays:      make(map[TopicID]*relayState),
 		seen:        newSeenSet(),
@@ -284,8 +306,14 @@ func (n *Node) dispatch(from NodeID, msg simnet.Message) {
 		n.handlePullReq(from, m)
 	case PullResp:
 		n.handlePullResp(from, m)
+	case ReplayReq:
+		n.handleReplayReq(from, m)
 	}
 }
+
+// Deliver implements simnet.Handler, so embedders that wrap the node's
+// handler (e.g. cmd/vitis-node's join dance) can forward messages to it.
+func (n *Node) Deliver(from NodeID, msg simnet.Message) { n.dispatch(from, msg) }
 
 // heartbeat is Algorithm 6: refresh proposals, prune stale neighbors, and
 // send the profile to every routing-table entry.
@@ -313,7 +341,12 @@ func (n *Node) heartbeat() {
 			// Tombstone: the dead descriptor will keep arriving in
 			// gossip buffers for a while; refuse to re-select it.
 			n.suspects[id] = now + 3*simnet.Time(n.params.StaleAge)*n.params.HeartbeatPeriod
+			n.tel.NeighborsSuspected.Inc()
 			n.tel.NeighborsEvicted.Inc()
+			if n.params.Recovery {
+				n.recordLost(id, now)
+				n.onNeighborLost(id)
+			}
 			continue
 		}
 		n.net.Send(n.id, id, hb)
@@ -327,6 +360,18 @@ func (n *Node) heartbeat() {
 	}
 	// Resend pulls whose response is overdue (lost PullReq/PullResp).
 	n.retryPulls(now)
+	// Note isolation so the first neighbor heard afterwards is asked for a
+	// replay of whatever flooded past us in the meantime.
+	if n.params.Recovery {
+		if n.Isolated() {
+			n.wasIsolated = true
+		}
+		n.retryReplays()
+		if n.aeRounds++; n.aeRounds >= n.params.AntiEntropyRounds {
+			n.aeRounds = 0
+			n.antiEntropySweep()
+		}
+	}
 	// Bound the dedup memory: rotate the seen-set generations well above
 	// any plausible dissemination time. Payloads and pull bookkeeping are
 	// keyed by the same events, so they are evicted on the same cadence.
@@ -377,6 +422,16 @@ const seenRotateRounds = 30
 func (n *Node) handleProfile(from NodeID, m ProfileMsg) {
 	n.tel.Profiles.Inc()
 	delete(n.suspects, from) // it speaks, so it lives
+	if n.params.Recovery {
+		if _, wasLost := n.lost[from]; wasLost {
+			delete(n.lost, from)
+			n.onPeerRecovered(from)
+		} else if n.wasIsolated {
+			// First voice after an isolation spell: catch up from it.
+			n.onPeerRecovered(from)
+		}
+		n.wasIsolated = false
+	}
 	n.profiles[from] = m.Profile
 	n.reverse[from] = n.eng.Now() + simnet.Time(n.params.StaleAge)*n.params.HeartbeatPeriod
 	if n.xchg.Contains(from) {

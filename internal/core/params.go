@@ -71,6 +71,22 @@ type Params struct {
 	// PullMaxAttempts bounds how many times one pull's PullReq is sent in
 	// total before the pull is abandoned.
 	PullMaxAttempts int
+	// Recovery enables the failure-recovery extensions beyond the paper's
+	// baseline self-healing (§III-D): immediate relay-path repair when a
+	// relay parent is evicted, replay of recently seen events to peers
+	// returning from suspicion or isolation, and Rejoin support. Off by
+	// default so simulated experiment tables stay byte-identical to the
+	// plain protocol; real deployments (cmd/vitis-node) switch it on.
+	Recovery bool
+	// ReplayDepth bounds how many recent events per subscribed topic are
+	// retained for replay to recovering peers (default 128; only used with
+	// Recovery).
+	ReplayDepth int
+	// AntiEntropyRounds is how many heartbeat rounds pass between
+	// anti-entropy sweeps, where one rotating neighbor is asked to replay
+	// its recent events (default 20; only used with Recovery). Sweeps mop
+	// up notifications that plain loss erased from every forwarding path.
+	AntiEntropyRounds int
 	// NetworkSizeEstimate is N in the Symphony harmonic distance draw.
 	NetworkSizeEstimate int
 	// SamplerViewSize and SampleSize configure the peer sampling layer.
@@ -111,6 +127,12 @@ func (p Params) WithDefaults() Params {
 	}
 	if p.PullMaxAttempts == 0 {
 		p.PullMaxAttempts = 4
+	}
+	if p.ReplayDepth == 0 {
+		p.ReplayDepth = 128
+	}
+	if p.AntiEntropyRounds == 0 {
+		p.AntiEntropyRounds = 20
 	}
 	if p.NetworkSizeEstimate == 0 {
 		p.NetworkSizeEstimate = 10000

@@ -54,6 +54,9 @@ func (n *Node) PublishData(t TopicID, payload []byte) EventID {
 	n.seen.add(ev)
 	n.payloads[ev] = payload
 	n.tel.Published.Inc()
+	if n.params.Recovery {
+		n.recordRecent(t, ev, 0, true)
+	}
 	n.tracer.Emit(telemetry.SpanEvent{
 		Kind: telemetry.KindPublish, Node: uint64(n.id),
 		Topic: uint64(t), Pub: uint64(ev.Publisher), Seq: ev.Seq,

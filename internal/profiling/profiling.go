@@ -1,5 +1,13 @@
 // Package profiling wires the standard runtime/pprof profilers behind the
 // -cpuprofile/-memprofile flags of the command-line tools.
+//
+// Start captures both profiles with one call and one deferred stop, so
+// every cmd/* binary exposes profiling the same way; the long-running
+// vitis-node daemon additionally serves live profiles over HTTP via the
+// stock net/http/pprof handlers on its -metrics-addr endpoint. Profiles
+// are written with the runs they describe (see DESIGN.md §6 for how the
+// numbers were used), and a forced GC before the heap profile makes
+// allocation snapshots comparable across runs.
 package profiling
 
 import (

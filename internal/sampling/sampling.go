@@ -94,6 +94,20 @@ func (s *Service) Start() {
 // Stop halts gossip permanently (node leave or crash).
 func (s *Service) Stop() { s.stopped = true }
 
+// Seed merges fresh (age 0) descriptors for the given peers into the view —
+// the recovery counterpart of the bootstrap list passed to New, used when a
+// node re-enters the overlay after isolation.
+func (s *Service) Seed(peers []simnet.NodeID) {
+	if s.stopped || len(peers) == 0 {
+		return
+	}
+	ds := make([]Descriptor, 0, len(peers))
+	for _, id := range peers {
+		ds = append(ds, Descriptor{ID: id})
+	}
+	s.merge(ds)
+}
+
 // Stopped reports whether Stop was called.
 func (s *Service) Stopped() bool { return s.stopped }
 

@@ -1,6 +1,15 @@
 // Package tablefmt renders the experiment results as aligned plain-text
 // tables, the output format of the benchmark harness (one table per paper
 // figure).
+//
+// A Table is a title, column headers, pre-formatted string cells and
+// optional footnotes; String pads every column to its widest cell so the
+// output diffs cleanly between runs. That byte-stability is load-bearing:
+// the determinism tests compare whole rendered tables across seeds and
+// parallelism levels, so rendering must stay free of anything
+// non-deterministic — cells arrive as strings built with the fixed-width
+// helpers F and Pct, never from map iteration or locale-dependent
+// formatting.
 package tablefmt
 
 import (

@@ -42,6 +42,13 @@ type NodeMetrics struct {
 	NeighborsEvicted *Counter // routing-table entries dropped by missed heartbeats
 	RoutingTableSize *Gauge
 	ReverseNeighbors *Gauge
+	// Failure recovery (§III-D; active with core.Params.Recovery).
+	NeighborsSuspected *Counter // peers tombstoned after missed heartbeats
+	NeighborsRecovered *Counter // evicted peers that spoke again
+	Rejoins            *Counter // Rejoin calls (re-bootstrap after isolation)
+	RelaysRepaired     *Counter // relay paths re-looked-up after a parent died
+	ReplayRequests     *Counter // replay requests sent to recovered peers
+	ReplayServed       *Counter // notifications re-sent answering replay requests
 	// Pull data plane (§III-C).
 	Pulls          *Counter // payload pulls started
 	PullRetries    *Counter
@@ -68,24 +75,30 @@ func NewNodeMetrics(r *Registry) *NodeMetrics {
 		Forwards:      r.Counter("vitis_core_forwards_total", "Notifications forwarded to dissemination links."),
 		DeliveryHops: r.Histogram("vitis_core_delivery_hops", "Overlay hop count of delivered events.",
 			1, 2, 3, 4, 6, 8, 12, 16, 24, 32),
-		SeenEvents:       r.Gauge("vitis_core_seen_events", "Events in the dedup seen-set."),
-		RelayLookups:     r.Counter("vitis_core_relay_lookups_total", "Relay-path lookups initiated as gateway."),
-		RelayHops:        r.Counter("vitis_core_relay_hops_total", "Relay lookup hops forwarded through this node."),
-		RelayRefused:     r.Counter("vitis_core_relay_refused_total", "Relay lookups refused with an exhausted TTL."),
-		RendezvousTaken:  r.Counter("vitis_core_rendezvous_taken_total", "Times this node assumed rendezvous duty."),
-		GatewayChanges:   r.Counter("vitis_core_gateway_changes_total", "Gateway proposal changes adopted."),
-		GatewayTopics:    r.Gauge("vitis_core_gateway_topics", "Topics this node currently proposes itself gateway for."),
-		RelayTopics:      r.Gauge("vitis_core_relay_topics", "Topics with live relay soft state."),
-		Heartbeats:       r.Counter("vitis_core_heartbeats_total", "Profile heartbeats sent."),
-		Profiles:         r.Counter("vitis_core_profiles_total", "Profile heartbeats received."),
-		NeighborsEvicted: r.Counter("vitis_core_neighbors_evicted_total", "Routing-table neighbors evicted after missed heartbeats."),
-		RoutingTableSize: r.Gauge("vitis_core_routing_table_size", "Current routing-table entries."),
-		ReverseNeighbors: r.Gauge("vitis_core_reverse_neighbors", "Fresh reverse (one-directional) neighbors."),
-		Pulls:            r.Counter("vitis_core_pulls_total", "Payload pulls started."),
-		PullRetries:      r.Counter("vitis_core_pull_retries_total", "Payload pull retransmissions."),
-		PullsAbandoned:   r.Counter("vitis_core_pulls_abandoned_total", "Payload pulls abandoned after exhausting retries."),
-		PayloadBytes:     r.Counter("vitis_core_payload_bytes_total", "Payload bytes received through pulls."),
-		PullBacklog:      r.Gauge("vitis_core_pull_backlog", "Entries across payload and pull bookkeeping maps."),
+		SeenEvents:         r.Gauge("vitis_core_seen_events", "Events in the dedup seen-set."),
+		RelayLookups:       r.Counter("vitis_core_relay_lookups_total", "Relay-path lookups initiated as gateway."),
+		RelayHops:          r.Counter("vitis_core_relay_hops_total", "Relay lookup hops forwarded through this node."),
+		RelayRefused:       r.Counter("vitis_core_relay_refused_total", "Relay lookups refused with an exhausted TTL."),
+		RendezvousTaken:    r.Counter("vitis_core_rendezvous_taken_total", "Times this node assumed rendezvous duty."),
+		GatewayChanges:     r.Counter("vitis_core_gateway_changes_total", "Gateway proposal changes adopted."),
+		GatewayTopics:      r.Gauge("vitis_core_gateway_topics", "Topics this node currently proposes itself gateway for."),
+		RelayTopics:        r.Gauge("vitis_core_relay_topics", "Topics with live relay soft state."),
+		Heartbeats:         r.Counter("vitis_core_heartbeats_total", "Profile heartbeats sent."),
+		Profiles:           r.Counter("vitis_core_profiles_total", "Profile heartbeats received."),
+		NeighborsEvicted:   r.Counter("vitis_core_neighbors_evicted_total", "Routing-table neighbors evicted after missed heartbeats."),
+		RoutingTableSize:   r.Gauge("vitis_core_routing_table_size", "Current routing-table entries."),
+		ReverseNeighbors:   r.Gauge("vitis_core_reverse_neighbors", "Fresh reverse (one-directional) neighbors."),
+		NeighborsSuspected: r.Counter("vitis_core_neighbors_suspected_total", "Peers tombstoned as suspects after missed heartbeats."),
+		NeighborsRecovered: r.Counter("vitis_core_neighbors_recovered_total", "Previously evicted peers that spoke again."),
+		Rejoins:            r.Counter("vitis_core_rejoins_total", "Re-bootstraps after the node found itself isolated."),
+		RelaysRepaired:     r.Counter("vitis_core_relays_repaired_total", "Relay paths re-established after their parent was evicted."),
+		ReplayRequests:     r.Counter("vitis_core_replay_requests_total", "Replay requests sent to recovered or fresh peers."),
+		ReplayServed:       r.Counter("vitis_core_replay_served_total", "Notifications re-sent in answer to replay requests."),
+		Pulls:              r.Counter("vitis_core_pulls_total", "Payload pulls started."),
+		PullRetries:        r.Counter("vitis_core_pull_retries_total", "Payload pull retransmissions."),
+		PullsAbandoned:     r.Counter("vitis_core_pulls_abandoned_total", "Payload pulls abandoned after exhausting retries."),
+		PayloadBytes:       r.Counter("vitis_core_payload_bytes_total", "Payload bytes received through pulls."),
+		PullBacklog:        r.Gauge("vitis_core_pull_backlog", "Entries across payload and pull bookkeeping maps."),
 		Sampler: GossipMetrics{
 			Rounds:  r.Counter("vitis_sampling_rounds_total", "Peer-sampling gossip rounds initiated."),
 			ViewAge: r.Gauge("vitis_sampling_view_age", "Mean age of the peer-sampling view in rounds."),
@@ -171,6 +184,49 @@ func NewHostMetrics(r *Registry) *HostMetrics {
 		r.CounterFunc("vitis_host_inbox_drops_total", "Inbound messages lost to a full inbox.", counterFn(m.InboxDrops))
 		r.CounterFunc("vitis_host_no_handler_total", "Inbound messages for ids not hosted here.", counterFn(m.NoHandler))
 		r.GaugeFunc("vitis_host_inbox_depth", "Inbound messages waiting for the driver.", gaugeFn(m.InboxDepth))
+	}
+	return m
+}
+
+// ChaosMetrics instruments one fault-injection controller
+// (internal/transport/chaos). Always live, like TransportMetrics, so tests
+// and the soak harness can read them without a registry.
+type ChaosMetrics struct {
+	Dropped        *Counter // messages dropped by injected loss
+	Duplicated     *Counter // extra copies injected
+	Reordered      *Counter // messages held back to swap with a successor
+	Delayed        *Counter // messages delivered late by injected jitter
+	PartitionDrops *Counter // messages cut by an active partition (drop mode or inbound)
+	Stashed        *Counter // messages stashed by an active partition
+	StashEvicted   *Counter // stashed messages lost to a full stash
+	Released       *Counter // stashed messages delivered at heal
+	Partitions     *Gauge   // currently active named partitions
+}
+
+// NewChaosMetrics builds live chaos instruments, registered under their
+// canonical names when r is non-nil.
+func NewChaosMetrics(r *Registry) *ChaosMetrics {
+	m := &ChaosMetrics{
+		Dropped:        NewCounter(),
+		Duplicated:     NewCounter(),
+		Reordered:      NewCounter(),
+		Delayed:        NewCounter(),
+		PartitionDrops: NewCounter(),
+		Stashed:        NewCounter(),
+		StashEvicted:   NewCounter(),
+		Released:       NewCounter(),
+		Partitions:     NewGauge(),
+	}
+	if r != nil {
+		r.CounterFunc("vitis_chaos_dropped_total", "Messages dropped by injected loss.", counterFn(m.Dropped))
+		r.CounterFunc("vitis_chaos_duplicated_total", "Extra message copies injected.", counterFn(m.Duplicated))
+		r.CounterFunc("vitis_chaos_reordered_total", "Messages held back to swap with a successor.", counterFn(m.Reordered))
+		r.CounterFunc("vitis_chaos_delayed_total", "Messages delivered late by injected jitter.", counterFn(m.Delayed))
+		r.CounterFunc("vitis_chaos_partition_drops_total", "Messages cut by an active partition.", counterFn(m.PartitionDrops))
+		r.CounterFunc("vitis_chaos_stashed_total", "Messages stashed by an active partition.", counterFn(m.Stashed))
+		r.CounterFunc("vitis_chaos_stash_evicted_total", "Stashed messages lost to a full stash.", counterFn(m.StashEvicted))
+		r.CounterFunc("vitis_chaos_released_total", "Stashed messages delivered at heal.", counterFn(m.Released))
+		r.GaugeFunc("vitis_chaos_active_partitions", "Currently active named partitions.", gaugeFn(m.Partitions))
 	}
 	return m
 }

@@ -91,6 +91,17 @@ func (x *Exchanger) Start() {
 // Stop halts the exchanger permanently.
 func (x *Exchanger) Stop() { x.stopped = true }
 
+// Seed offers fresh descriptors to the selection function, exactly as if
+// they had arrived in an exchange — the recovery counterpart of the
+// bootstrap list passed to New, used when a node re-enters the overlay
+// after isolation.
+func (x *Exchanger) Seed(ds []Descriptor) {
+	if x.stopped || len(ds) == 0 {
+		return
+	}
+	x.applySelect(ds)
+}
+
 // tick is the active thread of Algorithm 2: pick a random neighbor, send it
 // our merged buffer; the routing table is refreshed when the reply arrives.
 func (x *Exchanger) tick() {

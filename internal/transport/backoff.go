@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes bounded exponential retry delays with optional jitter.
+// It is pure state-free arithmetic — callers keep the attempt counter — so
+// one value can be shared by any number of retry loops. The zero value is
+// usable and takes the defaults noted on the fields.
+//
+// Jittered retries are the paper's §III-D failure posture applied to
+// control traffic: a burst of nodes rejoining after a partition must not
+// retry in lockstep, or the bootstrap point sees the thundering herd at
+// every interval. Both cmd/vitis-node's join/announce loops and
+// UDP.Resolve lean on this type.
+type Backoff struct {
+	// Base is the first delay (attempt 0). Default 100ms.
+	Base time.Duration
+	// Max caps the grown delay before jitter. Default 5s.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier. Default 2.
+	Factor float64
+	// Jitter is the fraction of each delay that is randomised: the delay
+	// is drawn uniformly from [d·(1−Jitter), d]. Zero disables jitter,
+	// which also makes Delay deterministic for a nil rng.
+	Jitter float64
+}
+
+// Delay returns the delay before retry number attempt (0-based). A nil rng
+// disables jitter regardless of the Jitter field, which keeps simulated
+// and tested schedules reproducible.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	base, max, factor := b.Base, b.Max, b.Factor
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt && d < float64(max); i++ {
+		d *= factor
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if b.Jitter > 0 && rng != nil {
+		j := b.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d = d * (1 - j*rng.Float64())
+	}
+	return time.Duration(d)
+}
+
+// ResolveError reports why UDP.Resolve failed, distinguishing the two
+// failure modes callers treat differently: a Timeout (the peer never
+// answered — retry later, maybe against another bootstrap address) versus
+// a socket or addressing failure in Err (retrying without fixing the
+// configuration will not help).
+type ResolveError struct {
+	// Addr is the address being resolved.
+	Addr string
+	// Timeout is true when the deadline expired without an answer.
+	Timeout bool
+	// Err is the underlying addressing or socket error, when one exists.
+	Err error
+}
+
+// Error implements error.
+func (e *ResolveError) Error() string {
+	switch {
+	case e.Timeout:
+		return fmt.Sprintf("transport: resolve %s: timed out", e.Addr)
+	case e.Err != nil:
+		return fmt.Sprintf("transport: resolve %s: %v", e.Addr, e.Err)
+	default:
+		return fmt.Sprintf("transport: resolve %s failed", e.Addr)
+	}
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ResolveError) Unwrap() error { return e.Err }
+
+// IsResolveTimeout reports whether err is a ResolveError caused by the
+// deadline expiring rather than a socket failure.
+func IsResolveTimeout(err error) bool {
+	var re *ResolveError
+	return errors.As(err, &re) && re.Timeout
+}

@@ -1,0 +1,219 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"vitis/internal/telemetry"
+)
+
+// A Scenario is a parsed fault plan: the steady-state fault mix plus any
+// scheduled partition episodes. ParseScenario builds one from the compact
+// spec grammar; Controller turns it into a live controller.
+type Scenario struct {
+	Config
+	Partitions []PartitionSpec
+}
+
+// PartitionSpec is one scheduled partition episode. The member set is not
+// part of the spec: a scheduled partition isolates the ids locally attached
+// to the controller at activation time, which for a vitis-node process
+// means "cut this node off".
+type PartitionSpec struct {
+	Name     string
+	Start    time.Duration // after Controller.Start
+	Duration time.Duration // 0 = never heals on its own
+}
+
+// ParseScenario parses the fault-plan grammar used by cmd/vitis-node's
+// -chaos flag and the VITIS_CHAOS environment variable:
+//
+//	spec      = clause *( ";" clause )
+//	clause    = faults | partition
+//	faults    = pair *( "," pair )
+//	pair      = "drop" "=" prob | "dup" "=" prob | "reorder" "=" prob
+//	          | "delay" "=" dur [ "-" dur ] | "stash" "=" int | "seed" "=" int
+//	partition = name "@" dur [ "+" dur ]
+//
+// Probabilities are floats in [0,1]; durations use Go syntax ("30ms",
+// "1.5s"). A single-value delay means a fixed added latency. A partition
+// clause "island@5s+10s" activates partition "island" 5 s after Start and
+// heals it 10 s later; without "+dur" it stays until healed explicitly.
+//
+//	drop=0.2,dup=0.05,delay=5ms-30ms,reorder=0.1,seed=7;island@5s+10s
+//
+// An empty spec yields a zero Scenario (a controller that injects nothing).
+func ParseScenario(spec string) (*Scenario, error) {
+	s := &Scenario{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if strings.Contains(clause, "@") {
+			p, err := parsePartition(clause)
+			if err != nil {
+				return nil, err
+			}
+			s.Partitions = append(s.Partitions, p)
+			continue
+		}
+		if err := s.parseFaults(clause); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Scenario) parseFaults(clause string) error {
+	for _, pair := range strings.Split(clause, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("chaos: %q: want key=value", pair)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "drop":
+			s.Drop, err = parseProb(key, val)
+		case "dup":
+			s.Duplicate, err = parseProb(key, val)
+		case "reorder":
+			s.Reorder, err = parseProb(key, val)
+		case "delay":
+			s.DelayMin, s.DelayMax, err = parseDelay(val)
+		case "stash":
+			s.StashCap, err = strconv.Atoi(val)
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return fmt.Errorf("chaos: unknown fault %q", key)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseProb(key, val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("chaos: %s=%q: want a probability in [0,1]", key, val)
+	}
+	return p, nil
+}
+
+func parseDelay(val string) (min, max time.Duration, err error) {
+	lo, hi, ranged := cutDuration(val)
+	min, err = time.ParseDuration(lo)
+	if err == nil && ranged {
+		max, err = time.ParseDuration(hi)
+	} else if err == nil {
+		max = min
+	}
+	if err != nil || min < 0 || max < min {
+		return 0, 0, fmt.Errorf("chaos: delay=%q: want dur or min-max durations", val)
+	}
+	return min, max, nil
+}
+
+// cutDuration splits "5ms-30ms" at the range dash, which is any '-' not
+// opening the string (a leading dash would be a negative duration, rejected
+// later).
+func cutDuration(val string) (lo, hi string, ranged bool) {
+	if i := strings.Index(val[1:], "-"); i >= 0 {
+		return val[:i+1], val[i+2:], true
+	}
+	return val, "", false
+}
+
+func parsePartition(clause string) (PartitionSpec, error) {
+	name, times, _ := strings.Cut(clause, "@")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return PartitionSpec{}, fmt.Errorf("chaos: partition %q: empty name", clause)
+	}
+	start, dur, hasDur := strings.Cut(times, "+")
+	p := PartitionSpec{Name: name}
+	var err error
+	p.Start, err = time.ParseDuration(strings.TrimSpace(start))
+	if err == nil && hasDur {
+		p.Duration, err = time.ParseDuration(strings.TrimSpace(dur))
+	}
+	if err != nil || p.Start < 0 || p.Duration < 0 {
+		return PartitionSpec{}, fmt.Errorf("chaos: partition %q: want name@start[+duration]", clause)
+	}
+	return p, nil
+}
+
+// Controller builds a controller from the scenario, wiring in m (may be
+// nil) and registering the scheduled partitions. The caller arms the
+// schedule with Start once its transports are attached.
+func (s *Scenario) Controller(m *telemetry.ChaosMetrics) *Controller {
+	cfg := s.Config
+	cfg.Metrics = m
+	c := New(cfg)
+	for _, p := range s.Partitions {
+		c.Schedule(p.Name, p.Start, p.Duration)
+	}
+	return c
+}
+
+// Load is the one-call path from spec string to controller: an empty spec
+// returns (nil, nil), which Wrap treats as "no chaos".
+func Load(spec string, m *telemetry.ChaosMetrics) (*Controller, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	s, err := ParseScenario(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Controller(m), nil
+}
+
+// String renders the scenario back in spec grammar (canonical field
+// order), for startup logs.
+func (s *Scenario) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	add("drop", s.Drop)
+	add("dup", s.Duplicate)
+	add("reorder", s.Reorder)
+	if s.DelayMax > 0 {
+		if s.DelayMin == s.DelayMax {
+			parts = append(parts, fmt.Sprintf("delay=%s", s.DelayMax))
+		} else {
+			parts = append(parts, fmt.Sprintf("delay=%s-%s", s.DelayMin, s.DelayMax))
+		}
+	}
+	if s.StashCap != 0 {
+		parts = append(parts, fmt.Sprintf("stash=%d", s.StashCap))
+	}
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	out := strings.Join(parts, ",")
+	for _, p := range s.Partitions {
+		clause := fmt.Sprintf("%s@%s", p.Name, p.Start)
+		if p.Duration > 0 {
+			clause += fmt.Sprintf("+%s", p.Duration)
+		}
+		if out != "" {
+			out += ";"
+		}
+		out += clause
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseScenarioFull(t *testing.T) {
+	s, err := ParseScenario("drop=0.2,dup=0.05,delay=5ms-30ms,reorder=0.1,stash=64,seed=7;island@5s+10s;late@1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Drop != 0.2 || s.Duplicate != 0.05 || s.Reorder != 0.1 || s.Seed != 7 || s.StashCap != 64 {
+		t.Fatalf("fault fields wrong: %+v", s.Config)
+	}
+	if s.DelayMin != 5*time.Millisecond || s.DelayMax != 30*time.Millisecond {
+		t.Fatalf("delay bounds wrong: %v-%v", s.DelayMin, s.DelayMax)
+	}
+	want := []PartitionSpec{
+		{Name: "island", Start: 5 * time.Second, Duration: 10 * time.Second},
+		{Name: "late", Start: time.Minute},
+	}
+	if len(s.Partitions) != len(want) {
+		t.Fatalf("got %d partitions, want %d", len(s.Partitions), len(want))
+	}
+	for i, w := range want {
+		if s.Partitions[i] != w {
+			t.Fatalf("partition %d = %+v, want %+v", i, s.Partitions[i], w)
+		}
+	}
+}
+
+func TestParseScenarioSingleDelay(t *testing.T) {
+	s, err := ParseScenario("delay=8ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DelayMin != 8*time.Millisecond || s.DelayMax != 8*time.Millisecond {
+		t.Fatalf("fixed delay parsed as %v-%v", s.DelayMin, s.DelayMax)
+	}
+}
+
+func TestParseScenarioEmpty(t *testing.T) {
+	s, err := ParseScenario("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Drop != 0 || len(s.Partitions) != 0 {
+		t.Fatalf("empty spec not zero: %+v", s)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	for _, spec := range []string{
+		"drop=2",          // probability out of range
+		"drop=x",          // not a number
+		"bogus=1",         // unknown fault
+		"drop",            // missing value
+		"delay=30ms-5ms",  // inverted range
+		"delay=-5ms",      // negative
+		"@5s",             // partition without a name
+		"cut@wat",         // bad start
+		"cut@5s+nope",     // bad duration
+		"seed=1;cut@-5s",  // negative start
+		"dup=0.5,dup=bad", // later pair invalid
+	} {
+		if _, err := ParseScenario(spec); err == nil {
+			t.Errorf("ParseScenario(%q) accepted", spec)
+		}
+	}
+}
+
+func TestScenarioStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"drop=0.2,dup=0.05,reorder=0.1,delay=5ms-30ms,stash=64,seed=7;island@5s+10s",
+		"drop=0.5",
+		"delay=8ms",
+		"cut@1s",
+	} {
+		s, err := ParseScenario(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		again, err := ParseScenario(s.String())
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", s.String(), spec, err)
+		}
+		if s.Config != again.Config || len(s.Partitions) != len(again.Partitions) {
+			t.Fatalf("round trip of %q changed the scenario: %q", spec, s.String())
+		}
+	}
+}

@@ -2,7 +2,7 @@ package transport
 
 import (
 	"errors"
-	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -220,31 +220,45 @@ func (u *UDP) Close() error {
 }
 
 // Hello sends an empty ack-requesting envelope to a raw socket address,
-// announcing our local ids and soliciting the peer's.
-func (u *UDP) Hello(addr *net.UDPAddr) {
+// announcing our local ids and soliciting the peer's. It returns the
+// socket write error, if any, so callers like Resolve can distinguish "no
+// answer yet" from "cannot even transmit".
+func (u *UDP) Hello(addr *net.UDPAddr) error {
 	u.mu.Lock()
 	dgram := u.envelopeLocked(nil, flagAckReq, nil)
 	closed := u.closed
 	u.mu.Unlock()
 	if closed {
-		return
+		return ErrClosed
 	}
 	if _, err := u.conn.WriteToUDP(dgram, addr); err != nil {
 		u.tel.TxErrors.Inc()
+		return err
 	}
+	return nil
 }
 
 // Resolve learns which node id a socket address hosts, by exchanging
 // hellos until the address book has an entry for it or the timeout
 // expires. Used at join time: configuration supplies the bootstrap
 // server's address, Resolve discovers its node id.
+//
+// Hellos are paced by jittered exponential backoff rather than a fixed
+// interval, so a fleet of nodes pointed at one bootstrap address does not
+// hammer it in lockstep while it is down. Failure is always a
+// *ResolveError: Timeout set when the peer simply never answered, Err set
+// when the last transmission itself failed (bad address, closed socket) —
+// the two cases operators handle differently (see IsResolveTimeout).
 func (u *UDP) Resolve(addr string, timeout time.Duration) (simnet.NodeID, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
-		return 0, err
+		return 0, &ResolveError{Addr: addr, Err: err}
 	}
+	bo := Backoff{Base: helloBackoff, Max: 2 * time.Second, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	deadline := time.Now().Add(timeout)
-	for {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
 		u.mu.Lock()
 		for id, a := range u.book {
 			if a.IP.Equal(ua.IP) && a.Port == ua.Port {
@@ -253,14 +267,29 @@ func (u *UDP) Resolve(addr string, timeout time.Duration) (simnet.NodeID, error)
 			}
 		}
 		u.mu.Unlock()
-		if time.Now().After(deadline) {
-			return 0, fmt.Errorf("transport: resolve %s: timed out", addr)
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			if lastErr != nil {
+				return 0, &ResolveError{Addr: addr, Err: lastErr}
+			}
+			return 0, &ResolveError{Addr: addr, Timeout: true}
 		}
-		u.Hello(ua)
+		if err := u.Hello(ua); err != nil {
+			if errors.Is(err, ErrClosed) {
+				return 0, &ResolveError{Addr: addr, Err: ErrClosed}
+			}
+			lastErr = err
+		} else {
+			lastErr = nil
+		}
+		wait := bo.Delay(attempt, rng)
+		if wait > remaining {
+			wait = remaining
+		}
 		select {
 		case <-u.done:
-			return 0, ErrClosed
-		case <-time.After(helloBackoff):
+			return 0, &ResolveError{Addr: addr, Err: ErrClosed}
+		case <-time.After(wait):
 		}
 	}
 }

@@ -75,6 +75,15 @@ func encodeBody(w *writer, msg simnet.Message) (byte, error) {
 		w.u32(uint32(len(m.Payload)))
 		w.bytes(m.Payload)
 		return TPullResp, nil
+	case core.ReplayReq:
+		if len(m.Topics) > maxCount {
+			return TReplayReq, fmt.Errorf("%w: %d topics", ErrTooLarge, len(m.Topics))
+		}
+		w.u16(uint16(len(m.Topics)))
+		for _, t := range m.Topics {
+			w.u64(uint64(t))
+		}
+		return TReplayReq, nil
 	default:
 		return 0, fmt.Errorf("%w: %T", ErrUnkeyable, msg)
 	}
@@ -152,6 +161,8 @@ func decodeBody(typ byte, r *reader) (simnet.Message, error) {
 			m.Payload = append([]byte(nil), b...)
 		}
 		return m, r.err
+	case TReplayReq:
+		return core.ReplayReq{Topics: decodeTopicList(r)}, r.err
 	default:
 		return nil, ErrUnknownType
 	}
@@ -388,5 +399,7 @@ func Samples() []simnet.Message {
 		core.PullReq{Event: core.EventID{Publisher: 42, Seq: 7}},
 		core.PullResp{Event: core.EventID{Publisher: 42, Seq: 7}},
 		core.PullResp{Event: core.EventID{Publisher: 42, Seq: 7}, Payload: []byte("payload bytes")},
+		core.ReplayReq{},
+		core.ReplayReq{Topics: []core.TopicID{10, 20, 30}},
 	}
 }

@@ -70,6 +70,7 @@ const (
 	TNotification    byte = 12 // core.Notification
 	TPullReq         byte = 13 // core.PullReq
 	TPullResp        byte = 14 // core.PullResp
+	TReplayReq       byte = 15 // core.ReplayReq
 )
 
 // Decode/Encode failure modes.
@@ -104,6 +105,7 @@ var typeNames = map[byte]string{
 	TNotification:    "core.Notification",
 	TPullReq:         "core.PullReq",
 	TPullResp:        "core.PullResp",
+	TReplayReq:       "core.ReplayReq",
 }
 
 // TypeName returns the registry name of a message-type byte, or a numeric

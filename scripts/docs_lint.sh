@@ -1,0 +1,57 @@
+#!/bin/sh
+# docs_lint.sh — documentation hygiene checks, run by the CI docs job.
+#
+#  1. Every relative markdown link ([text](path) where path is not a URL
+#     or pure #anchor) in the repo's own *.md files must point at a file
+#     or directory that exists.
+#  2. Every internal/* package (and cmd/* main) must carry a package
+#     comment, so `go doc` always has something to say.
+#
+# POSIX sh; no dependencies beyond grep/sed/find and the go toolchain
+# being optional (the package-comment check reads the sources directly).
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. relative links -------------------------------------------------
+# Markdown files we own. SNIPPETS.md / PAPERS.md quote external material
+# whose links point outside this repo, so they are skipped.
+mdfiles=$(find . -name '*.md' -not -path './.git/*' -not -path './related/*' \
+    -not -name 'SNIPPETS.md' -not -name 'PAPERS.md')
+for f in $mdfiles; do
+    dir=$(dirname "$f")
+    # Pull out link targets: [..](target) — tolerate several per line.
+    targets=$(grep -o '\]([^)]*)' "$f" 2>/dev/null | sed 's/^](//; s/)$//') || continue
+    for t in $targets; do
+        case "$t" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        # Strip a trailing #anchor from file links.
+        path=${t%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "$f: broken relative link: $t" >&2
+            fail=1
+        fi
+    done
+done
+
+# --- 2. package comments ----------------------------------------------
+# Every library package carries a '// Package <name>' doc comment; main
+# packages use the '// Command <name>' convention.
+for d in internal/*/ internal/*/*/ cmd/*/; do
+    [ -d "$d" ] || continue
+    # Skip directories with no Go files (or only test data).
+    ls "$d"*.go >/dev/null 2>&1 || continue
+    if ! grep -l '^// \(Package\|Command\) ' "$d"*.go >/dev/null 2>&1; then
+        echo "$d: no package comment (want '// Package ...' or '// Command ...')" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs lint failed" >&2
+    exit 1
+fi
+echo "docs lint ok"
