@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestBuildPlanAssignsDistinctPublishers checks the workload plan
+// invariants the delivery arithmetic depends on: exactly one publisher
+// per topic, no node publishing two topics, and every publisher counted
+// among its topic's subscribers.
+func TestBuildPlanAssignsDistinctPublishers(t *testing.T) {
+	cfg := clusterConfig{nodes: 20, topics: 8, subsPerNode: 3, alpha: 1.0, totalRate: 10, seed: 7}
+	pl, err := buildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for tp, n := range pl.pubOf {
+		if seen[n] {
+			t.Fatalf("node %d publishes more than one topic", n)
+		}
+		seen[n] = true
+		found := false
+		for _, s := range pl.subsOf[tp] {
+			if s == n {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("publisher %d missing from subscribers of topic %d", n, tp)
+		}
+		if pl.pubArgs[n] == "" {
+			t.Fatalf("publisher %d has empty -publish arg", n)
+		}
+		if pl.rates[tp] <= 0 {
+			t.Fatalf("topic %d has non-positive rate %v", tp, pl.rates[tp])
+		}
+	}
+	if len(seen) != cfg.topics {
+		t.Fatalf("want %d publishers, got %d", cfg.topics, len(seen))
+	}
+}
+
+func TestBuildPlanRejectsTooManyTopics(t *testing.T) {
+	if _, err := buildPlan(clusterConfig{nodes: 3, topics: 4, subsPerNode: 1, totalRate: 1}); err == nil {
+		t.Fatal("want error when topics exceed nodes")
+	}
+}
+
+// TestClusterSmoke runs a real 16-process cluster end to end: every
+// node a separate OS process with its own UDP socket, full delivery of
+// the publish window, and no goroutine growth between join and drain.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process cluster in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "vitis-node")
+	if out, err := exec.Command("go", "build", "-o", bin, "vitis/cmd/vitis-node").CombinedOutput(); err != nil {
+		t.Fatalf("building vitis-node: %v\n%s", err, out)
+	}
+	cfg := clusterConfig{
+		nodes: 16, topics: 6, subsPerNode: 3, alpha: 1.0, totalRate: 12,
+		publishFor: 8 * time.Second, settle: 3 * time.Second,
+		joinTimeout: 2 * time.Minute, drainTimeout: 2 * time.Minute,
+		stableFor: 3 * time.Second, periodMs: 200, seed: 42,
+		nodeBin: bin,
+	}
+	var buf bytes.Buffer
+	sum, err := runCluster(cfg, &buf)
+	t.Logf("cluster output:\n%s", buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Published == 0 {
+		t.Fatal("no events published")
+	}
+	if sum.DeliveryRatio < 0.999 {
+		t.Fatalf("delivery ratio %.4f < 0.999 (delivered %d of %d)",
+			sum.DeliveryRatio, sum.Delivered, sum.Expected)
+	}
+	if sum.GoroutineGrowth > 0 {
+		t.Fatalf("goroutines grew by %d at steady state (drained total %d) — per-peer leak",
+			sum.GoroutineGrowth, sum.GoroutinesFinal)
+	}
+	if sum.TxDatagrams == 0 || sum.TxFrames < sum.TxDatagrams {
+		t.Fatalf("implausible wire counters: frames=%d datagrams=%d", sum.TxFrames, sum.TxDatagrams)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -53,6 +54,10 @@ func main() {
 	bootAddr := flag.String("bootstrap", "", "bootstrap server address (role=node)")
 	subscribe := flag.String("subscribe", "", "comma-separated topic names to subscribe")
 	pubRate := flag.Float64("publish-rate", 0, "events per second published to each subscribed topic")
+	publish := flag.String("publish", "", "comma-separated topic=rate pairs to publish (auto-subscribes), e.g. 'news=0.5,sport=2'")
+	publishFor := flag.Duration("publish-for", 0, "stop publishing this long after the window opens (0 = never stop)")
+	publishDelay := flag.Duration("publish-delay", 0, "open the publish window this long after joining, letting the overlay converge")
+	quiet := flag.Bool("quiet", false, "suppress per-event DELIVER lines (metrics still count them)")
 	seed := flag.Int64("seed", 0, "identity and RNG seed (0 = derived from pid and time)")
 	periodMs := flag.Int64("period-ms", 1000, "gossip and heartbeat period in milliseconds")
 	want := flag.Int("want", 8, "peers requested from the bootstrap server")
@@ -73,20 +78,51 @@ func main() {
 		fatalf("-period-ms must be positive")
 	}
 	if err := run(config{
-		listen:      *listen,
-		role:        *role,
-		bootAddr:    *bootAddr,
-		subscribe:   *subscribe,
-		pubRate:     *pubRate,
-		seed:        *seed,
-		periodMs:    *periodMs,
-		want:        *want,
-		metricsAddr: *metricsAddr,
-		tracePath:   *tracePath,
-		chaosSpec:   *chaosSpec,
+		listen:       *listen,
+		role:         *role,
+		bootAddr:     *bootAddr,
+		subscribe:    *subscribe,
+		pubRate:      *pubRate,
+		publish:      *publish,
+		publishFor:   *publishFor,
+		publishDelay: *publishDelay,
+		quiet:        *quiet,
+		seed:         *seed,
+		periodMs:     *periodMs,
+		want:         *want,
+		metricsAddr:  *metricsAddr,
+		tracePath:    *tracePath,
+		chaosSpec:    *chaosSpec,
 	}); err != nil {
 		fatalf("%v", err)
 	}
+}
+
+// topicRate is one parsed -publish entry.
+type topicRate struct {
+	name string
+	rate float64
+}
+
+// parsePublish parses the -publish spec: comma-separated topic=rate pairs,
+// rate in events per second.
+func parsePublish(spec string) ([]topicRate, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []topicRate
+	for _, part := range strings.Split(spec, ",") {
+		name, rate, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("-publish entry %q is not topic=rate", part)
+		}
+		r, err := strconv.ParseFloat(rate, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("-publish entry %q has invalid rate", part)
+		}
+		out = append(out, topicRate{name: strings.TrimSpace(name), rate: r})
+	}
+	return out, nil
 }
 
 func fatalf(format string, args ...any) {
@@ -97,6 +133,9 @@ func fatalf(format string, args ...any) {
 type config struct {
 	listen, role, bootAddr, subscribe string
 	pubRate                           float64
+	publish                           string
+	publishFor, publishDelay          time.Duration
+	quiet                             bool
 	seed, periodMs                    int64
 	want                              int
 	metricsAddr, tracePath            string
@@ -151,6 +190,10 @@ func run(cfg config) error {
 
 	reg.CounterFunc("vitis_engine_events_total", "Discrete events executed by the node's engine.",
 		func() float64 { return float64(eng.EventsExecuted()) })
+	reg.GaugeFunc("vitis_go_goroutines", "Live goroutines in this process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("vitis_proc_max_rss_bytes", "Peak resident set size of this process.",
+		func() float64 { return float64(peakRSSBytes()) })
 
 	fmt.Printf("id=%016x listening on %s\n", uint64(self), udp.LocalAddr())
 
@@ -184,9 +227,15 @@ func run(cfg config) error {
 			return err
 		}
 		fmt.Printf("bootstrap %s is node %016x\n", cfg.bootAddr, uint64(bsID))
+		pubs, err := parsePublish(cfg.publish)
+		if err != nil {
+			return err
+		}
 		nodeCfg := nodeConfig{
 			self: self, bsID: bsID, subscribe: cfg.subscribe,
-			pubRate: cfg.pubRate, period: period, want: cfg.want, seed: cfg.seed,
+			pubRate: cfg.pubRate, pubs: pubs,
+			publishFor: cfg.publishFor, publishDelay: cfg.publishDelay,
+			quiet: cfg.quiet, period: period, want: cfg.want, seed: cfg.seed,
 			metrics: telemetry.NewNodeMetrics(reg), tracer: tracer, joined: &joined,
 		}
 		if err := setupNode(eng, host, nodeCfg); err != nil {
@@ -273,16 +322,20 @@ func serveMetrics(addr string, reg *telemetry.Registry, joined *atomic.Bool) (*h
 
 // nodeConfig carries the wiring of one overlay node into setupNode.
 type nodeConfig struct {
-	self      core.NodeID
-	bsID      simnet.NodeID
-	subscribe string
-	pubRate   float64
-	period    simnet.Time
-	want      int
-	seed      int64
-	metrics   *telemetry.NodeMetrics
-	tracer    *telemetry.Tracer
-	joined    *atomic.Bool
+	self         core.NodeID
+	bsID         simnet.NodeID
+	subscribe    string
+	pubRate      float64
+	pubs         []topicRate
+	publishFor   time.Duration
+	publishDelay time.Duration
+	quiet        bool
+	period       simnet.Time
+	want         int
+	seed         int64
+	metrics      *telemetry.NodeMetrics
+	tracer       *telemetry.Tracer
+	joined       *atomic.Bool
 }
 
 // setupNode builds the Vitis node and schedules the wire-level join dance:
@@ -299,17 +352,21 @@ type nodeConfig struct {
 // fresh peers to close the gap the outage left.
 func setupNode(eng *simnet.Engine, host *transport.Host, cfg nodeConfig) error {
 	self := cfg.self
+	onDeliver := func(n core.NodeID, topic core.TopicID, ev core.EventID, hops int) {
+		fmt.Printf("DELIVER node=%016x topic=%016x event=%016x:%d hops=%d\n",
+			uint64(n), uint64(topic), uint64(ev.Publisher), ev.Seq, hops)
+	}
+	if cfg.quiet {
+		onDeliver = nil // a 100-node cluster would flood stdout
+	}
 	node := core.NewNode(host, self, core.Params{
 		GossipPeriod:    cfg.period,
 		HeartbeatPeriod: cfg.period,
 		Recovery:        true,
 	}, core.Hooks{
-		OnDeliver: func(n core.NodeID, topic core.TopicID, ev core.EventID, hops int) {
-			fmt.Printf("DELIVER node=%016x topic=%016x event=%016x:%d hops=%d\n",
-				uint64(n), uint64(topic), uint64(ev.Publisher), ev.Seq, hops)
-		},
-		Metrics: cfg.metrics,
-		Tracer:  cfg.tracer,
+		OnDeliver: onDeliver,
+		Metrics:   cfg.metrics,
+		Tracer:    cfg.tracer,
 	})
 	var topics []core.TopicID
 	if cfg.subscribe != "" {
@@ -356,12 +413,15 @@ func setupNode(eng *simnet.Engine, host *transport.Host, cfg nodeConfig) error {
 
 	// Until the first JoinResp arrives, a provisional handler occupies our
 	// id; node.Join installs the bare node, which the composite replaces.
+	// joinedAt anchors the -publish-for window; driver goroutine only.
+	var joinedAt simnet.Time
 	host.Attach(self, simnet.HandlerFunc(func(from simnet.NodeID, msg simnet.Message) {
 		resp, ok := msg.(bootstrap.JoinResp)
 		if !ok || cfg.joined.Load() {
 			return
 		}
 		cfg.joined.Store(true)
+		joinedAt = eng.Now()
 		node.Join(resp.Peers)
 		host.Attach(self, steady)
 		fmt.Printf("joined with %d peers\n", len(resp.Peers))
@@ -407,6 +467,20 @@ func setupNode(eng *simnet.Engine, host *transport.Host, cfg nodeConfig) error {
 	}
 	eng.Schedule(10*cfg.period, announce)
 
+	// The publish window opens -publish-delay after join (letting routing
+	// tables and subscription state converge first) and admits publishes
+	// for -publish-for from then on; a zero -publish-for never closes it.
+	pubDelay := simnet.Time(cfg.publishDelay / time.Millisecond)
+	pubWindowStarted := func() bool {
+		return eng.Now() >= joinedAt+pubDelay
+	}
+	pubWindowOpen := func() bool {
+		if cfg.publishFor <= 0 {
+			return true
+		}
+		return eng.Now() < joinedAt+pubDelay+simnet.Time(cfg.publishFor/time.Millisecond)
+	}
+
 	if cfg.pubRate > 0 && len(topics) > 0 {
 		interval := simnet.Time(1000 / cfg.pubRate)
 		if interval < 1 {
@@ -414,7 +488,33 @@ func setupNode(eng *simnet.Engine, host *transport.Host, cfg nodeConfig) error {
 		}
 		eng.Every(interval, func() bool {
 			if cfg.joined.Load() {
-				for _, tp := range topics {
+				if !pubWindowOpen() {
+					return false
+				}
+				if pubWindowStarted() {
+					for _, tp := range topics {
+						node.Publish(tp)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// -publish entries: per-topic rates, auto-subscribed, same window.
+	for _, pr := range cfg.pubs {
+		tp := core.Topic(pr.name)
+		node.Subscribe(tp)
+		interval := simnet.Time(1000 / pr.rate)
+		if interval < 1 {
+			interval = 1
+		}
+		eng.Every(interval, func() bool {
+			if cfg.joined.Load() {
+				if !pubWindowOpen() {
+					return false
+				}
+				if pubWindowStarted() {
 					node.Publish(tp)
 				}
 			}
@@ -422,6 +522,15 @@ func setupNode(eng *simnet.Engine, host *transport.Host, cfg nodeConfig) error {
 		})
 	}
 	return nil
+}
+
+// peakRSSBytes reports the process's peak resident set size.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024 // Linux reports KiB
 }
 
 // sigusrLoop dumps the metric registry on SIGUSR1 until ctx ends.

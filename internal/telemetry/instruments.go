@@ -114,15 +114,18 @@ func NewNodeMetrics(r *Registry) *NodeMetrics {
 // nil registry merely leaves them unregistered.
 type TransportMetrics struct {
 	TxFrames     *Counter // frames queued toward a resolved peer
-	TxDropped    *Counter // datagrams lost to a full peer queue
-	TxPending    *Counter // frames stashed awaiting address resolution
+	TxDatagrams  *Counter // datagrams put on the wire (batches, hellos, acks)
+	TxBytes      *Counter // bytes put on the wire
+	TxDropped    *Counter // frames lost to a full queue, stash, or age-out
+	TxPending    *Gauge   // frames currently stashed awaiting address resolution
 	TxErrors     *Counter // socket write failures
 	RxDatagrams  *Counter // datagrams parsed successfully
+	RxBytes      *Counter // bytes received off the wire
 	RxFrames     *Counter // wire frames delivered upward
 	RxErrors     *Counter // malformed datagrams or frames
 	RxUnroutable *Counter // frames for ids not hosted here
 	KnownPeers   *Gauge   // address-book entries
-	QueueDepth   *Gauge   // datagrams sitting in per-peer send queues
+	QueueDepth   *Gauge   // frames sitting in per-peer batch buffers
 }
 
 // NewTransportMetrics builds live transport instruments, registered under
@@ -130,10 +133,13 @@ type TransportMetrics struct {
 func NewTransportMetrics(r *Registry) *TransportMetrics {
 	m := &TransportMetrics{
 		TxFrames:     NewCounter(),
+		TxDatagrams:  NewCounter(),
+		TxBytes:      NewCounter(),
 		TxDropped:    NewCounter(),
-		TxPending:    NewCounter(),
+		TxPending:    NewGauge(),
 		TxErrors:     NewCounter(),
 		RxDatagrams:  NewCounter(),
+		RxBytes:      NewCounter(),
 		RxFrames:     NewCounter(),
 		RxErrors:     NewCounter(),
 		RxUnroutable: NewCounter(),
@@ -142,15 +148,18 @@ func NewTransportMetrics(r *Registry) *TransportMetrics {
 	}
 	if r != nil {
 		r.CounterFunc("vitis_transport_tx_frames_total", "Wire frames queued toward a resolved peer.", counterFn(m.TxFrames))
-		r.CounterFunc("vitis_transport_tx_dropped_total", "Datagrams lost to a full per-peer send queue.", counterFn(m.TxDropped))
-		r.CounterFunc("vitis_transport_tx_pending_total", "Frames stashed awaiting address resolution.", counterFn(m.TxPending))
+		r.CounterFunc("vitis_transport_tx_datagrams_total", "Datagrams put on the wire (batches, hellos, acks).", counterFn(m.TxDatagrams))
+		r.CounterFunc("vitis_transport_tx_bytes_total", "Bytes put on the wire.", counterFn(m.TxBytes))
+		r.CounterFunc("vitis_transport_tx_dropped_total", "Frames lost to a full queue, full stash, or stash age-out.", counterFn(m.TxDropped))
+		r.GaugeFunc("vitis_transport_tx_pending", "Frames currently stashed awaiting address resolution.", gaugeFn(m.TxPending))
 		r.CounterFunc("vitis_transport_tx_errors_total", "Socket write failures.", counterFn(m.TxErrors))
 		r.CounterFunc("vitis_transport_rx_datagrams_total", "Datagrams parsed successfully.", counterFn(m.RxDatagrams))
+		r.CounterFunc("vitis_transport_rx_bytes_total", "Bytes received off the wire.", counterFn(m.RxBytes))
 		r.CounterFunc("vitis_transport_rx_frames_total", "Wire frames delivered upward.", counterFn(m.RxFrames))
 		r.CounterFunc("vitis_transport_rx_errors_total", "Malformed datagrams or frames received.", counterFn(m.RxErrors))
 		r.CounterFunc("vitis_transport_rx_unroutable_total", "Frames addressed to ids not hosted here.", counterFn(m.RxUnroutable))
 		r.GaugeFunc("vitis_transport_known_peers", "Entries in the epidemic address book.", gaugeFn(m.KnownPeers))
-		r.GaugeFunc("vitis_transport_send_queue_depth", "Datagrams waiting in per-peer send queues.", gaugeFn(m.QueueDepth))
+		r.GaugeFunc("vitis_transport_send_queue_depth", "Frames waiting in per-peer batch buffers.", gaugeFn(m.QueueDepth))
 	}
 	return m
 }

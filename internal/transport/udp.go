@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"vitis/internal/bootstrap"
@@ -23,11 +22,17 @@ import (
 //
 //	offset  size  field
 //	0       2     magic "VP"
-//	2       1     envelope version (1)
-//	3       1     flags: bit0 = carries a wire frame, bit1 = ack requested
+//	2       1     envelope version (2; version-1 datagrams still decode)
+//	3       1     flags: bit0 = carries wire frames, bit1 = ack requested
 //	4       1     nSrc, then nSrc × 8-byte local node ids of the sender
 //	.       1     nHints, then nHints × (id u64, ipLen u8, ip, port u16)
-//	.       ...   wire frame (if bit0 set)
+//	.       2     nFrames, then nFrames × (len u16, wire frame)
+//
+// Version 1 carried at most one frame (bit0 set, the frame ran to the end
+// of the datagram with no count or length prefix); version 2 batches: the
+// per-peer send queue coalesces frames and flushes them as one datagram
+// when the batch reaches BatchBytes or FlushInterval elapses, whichever
+// comes first. Receivers accept both versions.
 //
 // Receivers learn "these ids live at the datagram's source address" from
 // the src list, and third-party addresses from the hints — an epidemic
@@ -36,25 +41,48 @@ import (
 // A datagram with bit1 set requests an empty reply (a hello/ack pair), used
 // by Resolve to learn which node ids a known socket address hosts.
 const (
-	envVersion   = 1
+	envVersion1  = 1
+	envVersion2  = 2
 	flagFrame    = 1 << 0
 	flagAckReq   = 1 << 1
 	maxDatagram  = 65507
 	helloBackoff = 150 * time.Millisecond
+
+	// maxHintCap caps MaxHints so the envelope builder can deduplicate
+	// hints in a fixed-size array instead of an allocated map.
+	maxHintCap = 16
+	// maxMentioned bounds the mentioned-id accumulation per batch.
+	maxMentioned = 64
 )
 
 var envMagic = [2]byte{'V', 'P'}
 
 // UDPConfig tunes a UDP transport; zero values get defaults.
 type UDPConfig struct {
-	// QueueCap bounds each per-peer send queue (default 128); overflow
-	// drops the newest datagram, mirroring congestion loss.
-	QueueCap int
+	// QueueBytes bounds each per-peer batch buffer (default 256 KiB);
+	// overflow drops the newest frame, mirroring congestion loss.
+	QueueBytes int
 	// PendingCap bounds frames stashed for a peer whose address is still
 	// unknown (default 16); overflow drops the oldest stash entry.
 	PendingCap int
-	// MaxHints bounds address hints per datagram (default 8).
+	// MaxHints bounds address hints per datagram (default 8, max 16).
 	MaxHints int
+	// BatchBytes is the target datagram payload: a peer's batch flushes as
+	// soon as it holds this many frame bytes (default 1400, the common
+	// ethernet-safe size; capped at 60000 so the envelope always fits).
+	BatchBytes int
+	// FlushInterval bounds how long a queued frame waits for company
+	// before the batch is flushed anyway (default 2ms).
+	FlushInterval time.Duration
+	// IdleTimeout tears down a peer's flusher goroutine and batch buffer
+	// after this long without traffic (default 1 minute).
+	IdleTimeout time.Duration
+	// PendingTimeout ages out stashed frames whose peer address never
+	// resolved (default 10s); aged frames count as TxDropped.
+	PendingTimeout time.Duration
+	// PeerTTL evicts address-book entries not refreshed by traffic for
+	// this long (default 10 minutes), bounding book growth under churn.
+	PeerTTL time.Duration
 	// Metrics receives the transport's counters. Nil gets a private live
 	// bundle (Counters() still works); pass one built from a registry to
 	// expose the counters on /metrics.
@@ -62,8 +90,8 @@ type UDPConfig struct {
 }
 
 func (c *UDPConfig) fill() {
-	if c.QueueCap <= 0 {
-		c.QueueCap = 128
+	if c.QueueBytes <= 0 {
+		c.QueueBytes = 256 << 10
 	}
 	if c.PendingCap <= 0 {
 		c.PendingCap = 16
@@ -71,14 +99,50 @@ func (c *UDPConfig) fill() {
 	if c.MaxHints <= 0 {
 		c.MaxHints = 8
 	}
+	if c.MaxHints > maxHintCap {
+		c.MaxHints = maxHintCap
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 1400
+	}
+	if c.BatchBytes > 60000 {
+		c.BatchBytes = 60000
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = time.Minute
+	}
+	if c.PendingTimeout <= 0 {
+		c.PendingTimeout = 10 * time.Second
+	}
+	if c.PeerTTL <= 0 {
+		c.PeerTTL = 10 * time.Minute
+	}
 	if c.Metrics == nil {
 		c.Metrics = telemetry.NewTransportMetrics(nil)
 	}
 }
 
-// UDP is a real socket transport: one datagram socket, per-peer bounded
-// send queues drained by per-peer goroutines, and an epidemic address book
-// (see the envelope comment). Safe for concurrent use.
+// bookEntry is one address-book record: where a node id lives and when
+// traffic last confirmed it, for PeerTTL eviction.
+type bookEntry struct {
+	addr *net.UDPAddr
+	seen time.Time
+}
+
+// pendingFrame is one frame stashed for a peer whose address is unknown,
+// timestamped for PendingTimeout age-out.
+type pendingFrame struct {
+	frame []byte
+	at    time.Time
+}
+
+// UDP is a real socket transport: one datagram socket, per-peer batch
+// buffers drained by per-peer flusher goroutines (created on demand, torn
+// down when idle), and an epidemic address book (see the envelope
+// comment). Safe for concurrent use.
 type UDP struct {
 	conn *net.UDPConn
 	cfg  UDPConfig
@@ -86,9 +150,9 @@ type UDP struct {
 	mu      sync.Mutex
 	recv    RecvFunc
 	local   map[simnet.NodeID]bool
-	book    map[simnet.NodeID]*net.UDPAddr
+	book    map[simnet.NodeID]bookEntry
 	queues  map[simnet.NodeID]*peerQueue
-	pending map[simnet.NodeID][][]byte
+	pending map[simnet.NodeID][]pendingFrame
 	closed  bool
 
 	done chan struct{}
@@ -99,9 +163,27 @@ type UDP struct {
 	tel *telemetry.TransportMetrics
 }
 
+// peerQueue is one peer's batch state. Senders append length-prefixed
+// frames to buf under mu and kick the flusher; the flusher swaps buf with
+// its spare (so senders never wait on the socket), wraps the frames in
+// envelopes and writes them. Lock order is u.mu before q.mu — the flusher
+// therefore never touches u.mu while holding q.mu.
 type peerQueue struct {
-	ch   chan []byte
-	addr atomic.Pointer[net.UDPAddr]
+	kick chan struct{} // cap 1; wakes the flusher after an append
+
+	mu         sync.Mutex
+	addr       *net.UDPAddr
+	buf        []byte // length-prefixed frames awaiting flush
+	frames     int    // frame count in buf
+	mentioned  []simnet.NodeID
+	lastActive time.Time
+	dead       bool // set at teardown; senders seeing it re-create the queue
+
+	// Flusher-owned scratch, swapped with buf/mentioned at flush time so
+	// steady-state batching allocates nothing.
+	spare          []byte
+	spareMentioned []simnet.NodeID
+	out            []byte // datagram build buffer
 }
 
 // ListenUDP opens a UDP transport on addr (e.g. "127.0.0.1:0").
@@ -120,13 +202,14 @@ func ListenUDP(addr string, cfg UDPConfig) (*UDP, error) {
 		cfg:     cfg,
 		tel:     cfg.Metrics,
 		local:   make(map[simnet.NodeID]bool),
-		book:    make(map[simnet.NodeID]*net.UDPAddr),
+		book:    make(map[simnet.NodeID]bookEntry),
 		queues:  make(map[simnet.NodeID]*peerQueue),
-		pending: make(map[simnet.NodeID][][]byte),
+		pending: make(map[simnet.NodeID][]pendingFrame),
 		done:    make(chan struct{}),
 	}
-	u.wg.Add(1)
+	u.wg.Add(2)
 	go u.readLoop()
+	go u.reapLoop()
 	return u, nil
 }
 
@@ -174,34 +257,154 @@ func (u *UDP) SetPeer(id simnet.NodeID, addr string) error {
 func (u *UDP) PeerAddr(id simnet.NodeID) (*net.UDPAddr, bool) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	a := u.book[id]
-	return a, a != nil
+	e, ok := u.book[id]
+	return e.addr, ok
 }
 
 // Send implements Transport. Frames to peers with a known address are
-// enqueued on that peer's bounded queue; frames to unknown peers are
-// stashed until an address is learned (bounded, oldest dropped).
+// encoded straight into that peer's batch buffer (allocation-free when the
+// buffer has capacity — a test pins this); frames to unknown peers are
+// stashed until an address is learned (bounded, oldest dropped and
+// counted).
 func (u *UDP) Send(from, to simnet.NodeID, msg simnet.Message) error {
+	for {
+		u.mu.Lock()
+		if u.closed {
+			u.mu.Unlock()
+			return ErrClosed
+		}
+		if _, known := u.book[to]; !known {
+			err := u.stashLocked(from, to, msg)
+			u.mu.Unlock()
+			return err
+		}
+		q := u.queueLocked(to)
+		maxFrame := maxDatagram - u.envOverheadLocked()
+		u.mu.Unlock()
+
+		q.mu.Lock()
+		if q.dead {
+			// The idle reaper won the race between our map lookup and the
+			// append; the queue is gone from the map, so start over.
+			q.mu.Unlock()
+			continue
+		}
+		err := u.appendFrameLocked(q, from, to, msg, maxFrame)
+		q.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		q.kickNow()
+		return nil
+	}
+}
+
+// stashLocked parks a frame for a peer with no known address. Overflow
+// drops the oldest stash entry, which is congestion loss and must be
+// visible: it counts as TxDropped and releases the TxPending gauge.
+// Caller holds u.mu.
+func (u *UDP) stashLocked(from, to simnet.NodeID, msg simnet.Message) error {
 	frame, err := wire.Encode(from, to, msg)
 	if err != nil {
 		return err
 	}
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	if u.closed {
-		return ErrClosed
+	stash := u.pending[to]
+	if len(stash) >= u.cfg.PendingCap {
+		copy(stash, stash[1:])
+		stash = stash[:len(stash)-1]
+		u.tel.TxDropped.Inc()
+		u.tel.TxPending.Add(-1)
 	}
-	if u.book[to] == nil {
-		stash := u.pending[to]
-		if len(stash) >= u.cfg.PendingCap {
-			stash = stash[1:]
+	u.pending[to] = append(stash, pendingFrame{frame: frame, at: time.Now()})
+	u.tel.TxPending.Add(1)
+	return nil
+}
+
+// queueLocked returns the peer's batch queue, creating it (and its flusher
+// goroutine) on first use. Caller holds u.mu and the peer must be in the
+// book; a queue present in the map is never dead while u.mu is held,
+// because teardown removes it from the map under the same lock.
+func (u *UDP) queueLocked(to simnet.NodeID) *peerQueue {
+	q := u.queues[to]
+	if q == nil {
+		e := u.book[to]
+		q = &peerQueue{
+			kick:       make(chan struct{}, 1),
+			addr:       e.addr,
+			lastActive: time.Now(),
 		}
-		u.pending[to] = append(stash, frame)
-		u.tel.TxPending.Inc()
+		u.queues[to] = q
+		u.wg.Add(1)
+		go u.flushLoop(to, q)
+	}
+	return q
+}
+
+// kickNow wakes the peer's flusher without blocking; a pending kick
+// already covers us.
+func (q *peerQueue) kickNow() {
+	select {
+	case q.kick <- struct{}{}:
+	default:
+	}
+}
+
+// envOverheadLocked is the worst-case envelope size around a batch: header,
+// local-id list, a full hint section, the frame count, and one frame length
+// prefix. Caller holds u.mu.
+func (u *UDP) envOverheadLocked() int {
+	n := len(u.local)
+	if n > 255 {
+		n = 255
+	}
+	return 4 + 1 + 8*n + 1 + u.cfg.MaxHints*(8+1+16+2) + 2 + 2
+}
+
+// appendFrameLocked encodes msg as a length-prefixed frame directly into
+// the peer's batch buffer — no intermediate slice, so a warm buffer makes
+// Send allocation-free. Frames that cannot fit a datagram or would
+// overflow QueueBytes are reverted and counted as drops. Caller holds
+// q.mu.
+func (u *UDP) appendFrameLocked(q *peerQueue, from, to simnet.NodeID, msg simnet.Message, maxFrame int) error {
+	off := len(q.buf)
+	q.buf = append(q.buf, 0, 0)
+	var err error
+	q.buf, err = wire.AppendEncode(q.buf, from, to, msg)
+	if err != nil {
+		q.buf = q.buf[:off]
+		return err
+	}
+	flen := len(q.buf) - off - 2
+	if flen > maxFrame || len(q.buf) > u.cfg.QueueBytes {
+		q.buf = q.buf[:off]
+		u.tel.TxDropped.Inc()
 		return nil
 	}
-	u.enqueueLocked(to, u.envelopeLocked(frame, flagFrame, mentionedIDs(msg)))
+	q.buf[off] = byte(flen >> 8)
+	q.buf[off+1] = byte(flen)
+	q.frames++
+	q.lastActive = time.Now()
+	if len(q.mentioned) < maxMentioned {
+		q.mentioned = appendMentionedIDs(q.mentioned, msg)
+	}
+	u.tel.TxFrames.Inc()
+	u.tel.QueueDepth.Add(1)
 	return nil
+}
+
+// appendRawLocked queues an already-encoded frame (the pending-stash flush
+// path). Caller holds q.mu; maxFrame as in appendFrameLocked.
+func (u *UDP) appendRawLocked(q *peerQueue, frame []byte, maxFrame int) {
+	if len(frame) > maxFrame || len(q.buf)+2+len(frame) > u.cfg.QueueBytes {
+		u.tel.TxDropped.Inc()
+		return
+	}
+	q.buf = append(q.buf, byte(len(frame)>>8), byte(len(frame)))
+	q.buf = append(q.buf, frame...)
+	q.frames++
+	q.lastActive = time.Now()
+	u.tel.TxFrames.Inc()
+	u.tel.QueueDepth.Add(1)
 }
 
 // Close implements Transport.
@@ -225,23 +428,33 @@ func (u *UDP) Close() error {
 // answer yet" from "cannot even transmit".
 func (u *UDP) Hello(addr *net.UDPAddr) error {
 	u.mu.Lock()
-	dgram := u.envelopeLocked(nil, flagAckReq, nil)
+	dgram := u.appendEnvelopeLocked(make([]byte, 0, 512), flagAckReq, nil, 0, nil)
 	closed := u.closed
 	u.mu.Unlock()
 	if closed {
 		return ErrClosed
 	}
+	return u.writeDatagram(dgram, addr)
+}
+
+// writeDatagram puts one envelope on the wire and keeps the datagram and
+// byte counters honest.
+func (u *UDP) writeDatagram(dgram []byte, addr *net.UDPAddr) error {
 	if _, err := u.conn.WriteToUDP(dgram, addr); err != nil {
 		u.tel.TxErrors.Inc()
 		return err
 	}
+	u.tel.TxDatagrams.Inc()
+	u.tel.TxBytes.Add(uint64(len(dgram)))
 	return nil
 }
 
 // Resolve learns which node id a socket address hosts, by exchanging
 // hellos until the address book has an entry for it or the timeout
 // expires. Used at join time: configuration supplies the bootstrap
-// server's address, Resolve discovers its node id.
+// server's address, Resolve discovers its node id. When the address hosts
+// several attached ids (a multi-node process), the lowest id wins, so
+// every joiner resolves the same deterministic identity.
 //
 // Hellos are paced by jittered exponential backoff rather than a fixed
 // interval, so a fleet of nodes pointed at one bootstrap address does not
@@ -260,13 +473,16 @@ func (u *UDP) Resolve(addr string, timeout time.Duration) (simnet.NodeID, error)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		u.mu.Lock()
-		for id, a := range u.book {
-			if a.IP.Equal(ua.IP) && a.Port == ua.Port {
-				u.mu.Unlock()
-				return id, nil
+		best, found := simnet.NodeID(0), false
+		for id, e := range u.book {
+			if e.addr.IP.Equal(ua.IP) && e.addr.Port == ua.Port && (!found || id < best) {
+				best, found = id, true
 			}
 		}
 		u.mu.Unlock()
+		if found {
+			return best, nil
+		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			if lastErr != nil {
@@ -297,149 +513,319 @@ func (u *UDP) Resolve(addr string, timeout time.Duration) (simnet.NodeID, error)
 // UDPCounters is a snapshot of a UDP transport's counters.
 type UDPCounters struct {
 	TxFrames     uint64
+	TxDatagrams  uint64
+	TxBytes      uint64
 	TxDropped    uint64
 	TxPending    uint64
 	TxErrors     uint64
 	RxDatagrams  uint64
+	RxBytes      uint64
 	RxFrames     uint64
 	RxErrors     uint64
 	RxUnroutable uint64
 	KnownPeers   int
+	Goroutines   int // live per-peer flusher goroutines
 }
 
 // Counters returns a snapshot of the transport's counters.
 func (u *UDP) Counters() UDPCounters {
 	u.mu.Lock()
 	peers := len(u.book)
+	flushers := len(u.queues)
 	u.mu.Unlock()
 	return UDPCounters{
 		TxFrames:     u.tel.TxFrames.Value(),
+		TxDatagrams:  u.tel.TxDatagrams.Value(),
+		TxBytes:      u.tel.TxBytes.Value(),
 		TxDropped:    u.tel.TxDropped.Value(),
-		TxPending:    u.tel.TxPending.Value(),
+		TxPending:    uint64(u.tel.TxPending.Value()),
 		TxErrors:     u.tel.TxErrors.Value(),
 		RxDatagrams:  u.tel.RxDatagrams.Value(),
+		RxBytes:      u.tel.RxBytes.Value(),
 		RxFrames:     u.tel.RxFrames.Value(),
 		RxErrors:     u.tel.RxErrors.Value(),
 		RxUnroutable: u.tel.RxUnroutable.Value(),
 		KnownPeers:   peers,
+		Goroutines:   flushers,
 	}
 }
 
-// enqueueLocked hands a datagram to the peer's queue goroutine, dropping
-// on overflow. Caller holds u.mu; the peer's address must be in the book.
-func (u *UDP) enqueueLocked(to simnet.NodeID, dgram []byte) {
-	q := u.queues[to]
-	if q == nil {
-		q = &peerQueue{ch: make(chan []byte, u.cfg.QueueCap)}
-		q.addr.Store(u.book[to])
-		u.queues[to] = q
-		u.wg.Add(1)
-		go u.sendLoop(q)
-	}
-	select {
-	case q.ch <- dgram:
-		u.tel.TxFrames.Inc()
-		u.tel.QueueDepth.Add(1)
-	default:
-		u.tel.TxDropped.Inc()
-	}
-}
-
-// sendLoop drains one peer's queue onto the socket.
-func (u *UDP) sendLoop(q *peerQueue) {
+// flushLoop drains one peer's batch buffer onto the socket: flush when the
+// batch reaches BatchBytes, when the oldest queued frame has waited
+// FlushInterval, and tear itself down after IdleTimeout without traffic —
+// peer churn must not accumulate goroutines (a test pins this).
+func (u *UDP) flushLoop(to simnet.NodeID, q *peerQueue) {
 	defer u.wg.Done()
+	timer := time.NewTimer(u.cfg.IdleTimeout)
+	defer timer.Stop()
+	var flushAt time.Time // deadline of the oldest buffered frame; zero when empty
 	for {
 		select {
 		case <-u.done:
 			return
-		case dgram := <-q.ch:
-			u.tel.QueueDepth.Add(-1)
-			if _, err := u.conn.WriteToUDP(dgram, q.addr.Load()); err != nil {
-				u.tel.TxErrors.Inc()
+		case <-q.kick:
+		case <-timer.C:
+		}
+		now := time.Now()
+
+		q.mu.Lock()
+		if len(q.buf) > 0 && flushAt.IsZero() {
+			flushAt = now.Add(u.cfg.FlushInterval)
+		}
+		if len(q.buf) >= u.cfg.BatchBytes || (!flushAt.IsZero() && !now.Before(flushAt)) {
+			data, nFrames, mentioned, addr := q.takeLocked()
+			q.mu.Unlock()
+			u.writeBatch(q, data, nFrames, mentioned, addr)
+			flushAt = time.Time{}
+			now = time.Now()
+			q.mu.Lock()
+			if len(q.buf) > 0 { // frames raced in during the flush
+				flushAt = now.Add(u.cfg.FlushInterval)
 			}
 		}
+		idleAt := q.lastActive.Add(u.cfg.IdleTimeout)
+		q.mu.Unlock()
+
+		if flushAt.IsZero() && !now.Before(idleAt) {
+			// Idle: tear down, unless a send raced in. Lock order is
+			// u.mu → q.mu; once dead and out of the map, Send re-creates.
+			u.mu.Lock()
+			q.mu.Lock()
+			if len(q.buf) == 0 {
+				q.dead = true
+				if u.queues[to] == q {
+					delete(u.queues, to)
+				}
+				q.mu.Unlock()
+				u.mu.Unlock()
+				return
+			}
+			flushAt = time.Now().Add(u.cfg.FlushInterval)
+			idleAt = q.lastActive.Add(u.cfg.IdleTimeout)
+			q.mu.Unlock()
+			u.mu.Unlock()
+		}
+
+		next := idleAt
+		if !flushAt.IsZero() && flushAt.Before(next) {
+			next = flushAt
+		}
+		resetTimer(timer, time.Until(next))
 	}
 }
 
-// learnLocked records id → addr, refreshes the peer's queue address, and
-// flushes any frames stashed while the address was unknown. Caller holds
-// u.mu.
+// takeLocked hands the batch to the flusher by swapping buffers, so the
+// socket write happens outside q.mu and steady state reuses both buffers.
+// Caller holds q.mu.
+func (q *peerQueue) takeLocked() (data []byte, nFrames int, mentioned []simnet.NodeID, addr *net.UDPAddr) {
+	data, q.buf, q.spare = q.buf, q.spare[:0], q.buf
+	mentioned, q.mentioned, q.spareMentioned = q.mentioned, q.spareMentioned[:0], q.mentioned
+	nFrames = q.frames
+	q.frames = 0
+	return data, nFrames, mentioned, q.addr
+}
+
+// writeBatch wraps a batch of length-prefixed frames into one or more
+// envelopes — normally exactly one; more only when senders outran the
+// flusher — and writes them. Runs on the flusher goroutine with no locks
+// held except briefly u.mu per envelope.
+func (u *UDP) writeBatch(q *peerQueue, data []byte, nFrames int, mentioned []simnet.NodeID, addr *net.UDPAddr) {
+	off := 0
+	for off < len(data) {
+		start, n := off, 0
+		for off < len(data) {
+			flen := int(data[off])<<8 | int(data[off+1])
+			next := off + 2 + flen
+			if n > 0 && next-start > u.cfg.BatchBytes {
+				break
+			}
+			off = next
+			n++
+		}
+		u.mu.Lock()
+		q.out = u.appendEnvelopeLocked(q.out[:0], flagFrame, data[start:off], n, mentioned)
+		u.mu.Unlock()
+		u.writeDatagram(q.out, addr) //nolint:errcheck // accounted inside
+		u.tel.QueueDepth.Add(-int64(n))
+		nFrames -= n
+	}
+	if nFrames > 0 { // defensive: never leak gauge weight
+		u.tel.QueueDepth.Add(-int64(nFrames))
+	}
+}
+
+// learnLocked records id → addr, refreshes the entry's liveness, retargets
+// the peer's queue, and flushes any frames stashed while the address was
+// unknown. Caller holds u.mu.
 func (u *UDP) learnLocked(id simnet.NodeID, addr *net.UDPAddr) {
-	u.book[id] = addr
-	u.tel.KnownPeers.Set(int64(len(u.book)))
-	if q := u.queues[id]; q != nil {
-		q.addr.Store(addr)
+	now := time.Now()
+	if e, ok := u.book[id]; ok && udpAddrEqual(e.addr, addr) {
+		e.seen = now
+		u.book[id] = e
+	} else {
+		u.book[id] = bookEntry{addr: addr, seen: now}
+		u.tel.KnownPeers.Set(int64(len(u.book)))
+		if q := u.queues[id]; q != nil {
+			q.mu.Lock()
+			q.addr = addr
+			q.mu.Unlock()
+		}
 	}
 	if stash := u.pending[id]; len(stash) > 0 {
 		delete(u.pending, id)
-		for _, frame := range stash {
-			u.enqueueLocked(id, u.envelopeLocked(frame, flagFrame, nil))
+		q := u.queueLocked(id)
+		maxFrame := maxDatagram - u.envOverheadLocked()
+		q.mu.Lock()
+		for _, pf := range stash {
+			u.appendRawLocked(q, pf.frame, maxFrame)
 		}
+		q.mu.Unlock()
+		u.tel.TxPending.Add(-int64(len(stash)))
+		q.kickNow()
 	}
 }
 
-// envelopeLocked wraps a wire frame (or nothing) in a datagram envelope,
-// piggybacking our local ids and up to MaxHints address hints. Hints
-// prefer the ids mentioned inside the message (so a node receiving a view
+// appendEnvelopeLocked appends a complete datagram envelope around a batch
+// of length-prefixed frames (or none, for hellos and acks), piggybacking
+// our local ids and up to MaxHints address hints. Hints prefer the ids
+// mentioned inside the batched messages (so a node receiving a view
 // exchange can immediately reach the peers it was just told about), then
 // pad with arbitrary book entries (Go's random map order spreads the rest
-// of the book epidemically). Caller holds u.mu.
-func (u *UDP) envelopeLocked(frame []byte, flags byte, mentioned []simnet.NodeID) []byte {
-	b := make([]byte, 0, 64+len(frame))
-	b = append(b, envMagic[0], envMagic[1], envVersion, flags)
+// of the book epidemically). Allocation-free when dst has capacity —
+// hint dedup uses a fixed array, not a map. Caller holds u.mu.
+func (u *UDP) appendEnvelopeLocked(dst []byte, flags byte, frames []byte, nFrames int, mentioned []simnet.NodeID) []byte {
+	if nFrames > 0 {
+		flags |= flagFrame
+	} else {
+		flags &^= flagFrame
+	}
+	dst = append(dst, envMagic[0], envMagic[1], envVersion2, flags)
 
-	nSrcAt := len(b)
-	b = append(b, 0)
+	nSrcAt := len(dst)
+	dst = append(dst, 0)
 	n := 0
 	for id := range u.local {
 		if n == 255 {
 			break
 		}
-		b = appendU64(b, uint64(id))
+		dst = appendU64(dst, uint64(id))
 		n++
 	}
-	b[nSrcAt] = byte(n)
+	dst[nSrcAt] = byte(n)
 
-	nHintsAt := len(b)
-	b = append(b, 0)
-	budget := maxDatagram - len(b) - len(frame)
-	added := make(map[simnet.NodeID]bool)
-	n = 0
-	hint := func(id simnet.NodeID) {
-		if n >= u.cfg.MaxHints || added[id] || u.local[id] {
-			return
-		}
-		addr := u.book[id]
-		if addr == nil {
-			return
-		}
-		ip := addr.IP
-		if v4 := ip.To4(); v4 != nil {
-			ip = v4
-		}
-		sz := 8 + 1 + len(ip) + 2
-		if sz > budget {
-			return
-		}
-		budget -= sz
-		b = appendU64(b, uint64(id))
-		b = append(b, byte(len(ip)))
-		b = append(b, ip...)
-		b = append(b, byte(addr.Port>>8), byte(addr.Port))
-		added[id] = true
-		n++
-	}
+	nHintsAt := len(dst)
+	dst = append(dst, 0)
+	budget := maxDatagram - len(dst) - 2 - len(frames)
+	var added [maxHintCap]simnet.NodeID
+	nh := 0
 	for _, id := range mentioned {
-		hint(id)
-	}
-	for id := range u.book {
-		if n >= u.cfg.MaxHints {
+		if nh >= u.cfg.MaxHints {
 			break
 		}
-		hint(id)
+		dst, nh, budget = u.appendHintLocked(dst, id, &added, nh, budget)
 	}
-	b[nHintsAt] = byte(n)
-	return append(b, frame...)
+	for id := range u.book {
+		if nh >= u.cfg.MaxHints {
+			break
+		}
+		dst, nh, budget = u.appendHintLocked(dst, id, &added, nh, budget)
+	}
+	dst[nHintsAt] = byte(nh)
+
+	dst = append(dst, byte(nFrames>>8), byte(nFrames))
+	return append(dst, frames...)
+}
+
+// appendHintLocked appends one address hint if the id is hintable (known,
+// not local, not already added, fits the budget). Caller holds u.mu.
+func (u *UDP) appendHintLocked(dst []byte, id simnet.NodeID, added *[maxHintCap]simnet.NodeID, nh, budget int) ([]byte, int, int) {
+	if u.local[id] {
+		return dst, nh, budget
+	}
+	for i := 0; i < nh; i++ {
+		if added[i] == id {
+			return dst, nh, budget
+		}
+	}
+	e, ok := u.book[id]
+	if !ok {
+		return dst, nh, budget
+	}
+	ip := e.addr.IP
+	if v4 := ip.To4(); v4 != nil {
+		ip = v4
+	}
+	sz := 8 + 1 + len(ip) + 2
+	if sz > budget {
+		return dst, nh, budget
+	}
+	added[nh] = id
+	dst = appendU64(dst, uint64(id))
+	dst = append(dst, byte(len(ip)))
+	dst = append(dst, ip...)
+	dst = append(dst, byte(e.addr.Port>>8), byte(e.addr.Port))
+	return dst, nh + 1, budget - sz
+}
+
+// reapLoop ages out pending stashes whose peer never resolved and evicts
+// address-book entries not refreshed within PeerTTL, so churned peers do
+// not pin memory forever. (Their flusher goroutines tear themselves down
+// via flushLoop's IdleTimeout.)
+func (u *UDP) reapLoop() {
+	defer u.wg.Done()
+	interval := u.cfg.PendingTimeout / 4
+	if interval > u.cfg.PeerTTL/4 {
+		interval = u.cfg.PeerTTL / 4
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > 5*time.Second {
+		interval = 5 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-u.done:
+			return
+		case now := <-ticker.C:
+			u.reapOnce(now)
+		}
+	}
+}
+
+// reapOnce applies PendingTimeout and PeerTTL as of now.
+func (u *UDP) reapOnce(now time.Time) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for id, stash := range u.pending {
+		// Stashes are append-ordered, so expired entries form a prefix.
+		cut := 0
+		for cut < len(stash) && now.Sub(stash[cut].at) > u.cfg.PendingTimeout {
+			cut++
+		}
+		if cut == 0 {
+			continue
+		}
+		u.tel.TxDropped.Add(uint64(cut))
+		u.tel.TxPending.Add(-int64(cut))
+		if cut == len(stash) {
+			delete(u.pending, id)
+		} else {
+			u.pending[id] = append(stash[:0], stash[cut:]...)
+		}
+	}
+	evicted := false
+	for id, e := range u.book {
+		if now.Sub(e.seen) > u.cfg.PeerTTL {
+			delete(u.book, id)
+			evicted = true
+		}
+	}
+	if evicted {
+		u.tel.KnownPeers.Set(int64(len(u.book)))
+	}
 }
 
 // readLoop receives datagrams and dispatches their contents.
@@ -460,14 +846,22 @@ func (u *UDP) readLoop() {
 			u.tel.RxErrors.Inc()
 			continue
 		}
+		u.tel.RxBytes.Add(uint64(n))
 		u.handleDatagram(buf[:n], src)
 	}
 }
 
 // handleDatagram parses one envelope: learn addresses, answer acks,
-// deliver the frame.
+// deliver the frames. Steady-state datagrams from known peers parse
+// without allocating — address copies happen only when the book actually
+// changes.
 func (u *UDP) handleDatagram(b []byte, src *net.UDPAddr) {
-	if len(b) < 6 || b[0] != envMagic[0] || b[1] != envMagic[1] || b[2] != envVersion {
+	if len(b) < 6 || b[0] != envMagic[0] || b[1] != envMagic[1] {
+		u.tel.RxErrors.Inc()
+		return
+	}
+	version := b[2]
+	if version != envVersion1 && version != envVersion2 {
 		u.tel.RxErrors.Inc()
 		return
 	}
@@ -480,10 +874,7 @@ func (u *UDP) handleDatagram(b []byte, src *net.UDPAddr) {
 		u.tel.RxErrors.Inc()
 		return
 	}
-	srcIDs := make([]simnet.NodeID, nSrc)
-	for i := range srcIDs {
-		srcIDs[i] = simnet.NodeID(takeU64(rest[i*8:]))
-	}
+	srcIDs := rest[:nSrc*8]
 	rest = rest[nSrc*8:]
 
 	if len(rest) < 1 {
@@ -492,40 +883,47 @@ func (u *UDP) handleDatagram(b []byte, src *net.UDPAddr) {
 	}
 	nHints := int(rest[0])
 	rest = rest[1:]
-	type hintEntry struct {
-		id   simnet.NodeID
-		addr *net.UDPAddr
-	}
-	hints := make([]hintEntry, 0, nHints)
-	for i := 0; i < nHints; i++ {
+	hints := rest
+	for i := 0; i < nHints; i++ { // validate before taking any locks
 		if len(rest) < 9 {
 			u.tel.RxErrors.Inc()
 			return
 		}
-		id := simnet.NodeID(takeU64(rest))
 		ipLen := int(rest[8])
-		rest = rest[9:]
-		if ipLen != 4 && ipLen != 16 || len(rest) < ipLen+2 {
+		if ipLen != 4 && ipLen != 16 || len(rest) < 9+ipLen+2 {
 			u.tel.RxErrors.Inc()
 			return
 		}
-		ip := append(net.IP(nil), rest[:ipLen]...)
-		port := int(rest[ipLen])<<8 | int(rest[ipLen+1])
-		rest = rest[ipLen+2:]
-		hints = append(hints, hintEntry{id, &net.UDPAddr{IP: ip, Port: port}})
+		rest = rest[9+ipLen+2:]
 	}
+	hints = hints[:len(hints)-len(rest)]
 
+	now := time.Now()
 	u.mu.Lock()
-	srcCopy := &net.UDPAddr{IP: append(net.IP(nil), src.IP...), Port: src.Port, Zone: src.Zone}
-	for _, id := range srcIDs {
+	var srcCopy *net.UDPAddr
+	for i := 0; i < nSrc; i++ {
+		id := simnet.NodeID(takeU64(srcIDs[i*8:]))
+		if e, ok := u.book[id]; ok && udpAddrEqual(e.addr, src) {
+			e.seen = now // refresh in place: no copy, no churn
+			u.book[id] = e
+			continue
+		}
+		if srcCopy == nil {
+			srcCopy = copyUDPAddr(src)
+		}
 		u.learnLocked(id, srcCopy)
 	}
-	for _, h := range hints {
+	for len(hints) > 0 {
+		id := simnet.NodeID(takeU64(hints))
+		ipLen := int(hints[8])
 		// Hints are second-hand: never override what the source address
 		// of a peer's own datagram taught us.
-		if u.book[h.id] == nil {
-			u.learnLocked(h.id, h.addr)
+		if _, ok := u.book[id]; !ok {
+			ip := append(net.IP(nil), hints[9:9+ipLen]...)
+			port := int(hints[9+ipLen])<<8 | int(hints[9+ipLen+1])
+			u.learnLocked(id, &net.UDPAddr{IP: ip, Port: port})
 		}
+		hints = hints[9+ipLen+2:]
 	}
 	recv := u.recv
 	u.mu.Unlock()
@@ -533,20 +931,54 @@ func (u *UDP) handleDatagram(b []byte, src *net.UDPAddr) {
 
 	if flags&flagAckReq != 0 {
 		u.mu.Lock()
-		ack := u.envelopeLocked(nil, 0, nil)
+		ack := u.appendEnvelopeLocked(make([]byte, 0, 512), 0, nil, 0, nil)
 		closed := u.closed
 		u.mu.Unlock()
 		if !closed {
-			if _, err := u.conn.WriteToUDP(ack, src); err != nil {
-				u.tel.TxErrors.Inc()
-			}
+			u.writeDatagram(ack, src) //nolint:errcheck // accounted inside
 		}
 	}
 
-	if flags&flagFrame == 0 {
-		return
+	switch version {
+	case envVersion1:
+		// Legacy single-frame layout: the frame runs to the end.
+		if flags&flagFrame != 0 {
+			u.dispatchFrame(rest, recv)
+		}
+	case envVersion2:
+		if flags&flagFrame == 0 {
+			return
+		}
+		if len(rest) < 2 {
+			u.tel.RxErrors.Inc()
+			return
+		}
+		nFrames := int(rest[0])<<8 | int(rest[1])
+		rest = rest[2:]
+		for i := 0; i < nFrames; i++ {
+			if len(rest) < 2 {
+				u.tel.RxErrors.Inc()
+				return
+			}
+			flen := int(rest[0])<<8 | int(rest[1])
+			rest = rest[2:]
+			if len(rest) < flen {
+				u.tel.RxErrors.Inc()
+				return
+			}
+			u.dispatchFrame(rest[:flen], recv)
+			rest = rest[flen:]
+		}
+		if len(rest) != 0 {
+			u.tel.RxErrors.Inc()
+		}
 	}
-	from, to, msg, err := wire.Decode(rest)
+}
+
+// dispatchFrame decodes one wire frame and hands it to the receiver if the
+// destination id is hosted here.
+func (u *UDP) dispatchFrame(frame []byte, recv RecvFunc) {
+	from, to, msg, err := wire.Decode(frame)
 	if err != nil {
 		u.tel.RxErrors.Inc()
 		return
@@ -564,45 +996,69 @@ func (u *UDP) handleDatagram(b []byte, src *net.UDPAddr) {
 	}
 }
 
-// mentionedIDs extracts the node ids a message tells its receiver about, so
-// the envelope can attach their addresses as hints and keep the epidemic
-// address book one step ahead of the protocol.
-func mentionedIDs(msg simnet.Message) []simnet.NodeID {
+// appendMentionedIDs appends the node ids a message tells its receiver
+// about, so the envelope can attach their addresses as hints and keep the
+// epidemic address book one step ahead of the protocol. Appends into the
+// caller's buffer so the batch path stays allocation-free once warm.
+func appendMentionedIDs(dst []simnet.NodeID, msg simnet.Message) []simnet.NodeID {
 	switch m := msg.(type) {
 	case bootstrap.JoinResp:
-		return m.Peers
+		return append(dst, m.Peers...)
 	case sampling.Request:
-		return samplingIDs(m.View)
+		return appendSamplingIDs(dst, m.View)
 	case sampling.Reply:
-		return samplingIDs(m.View)
+		return appendSamplingIDs(dst, m.View)
 	case sampling.ShuffleRequest:
-		return samplingIDs(m.Subset)
+		return appendSamplingIDs(dst, m.Subset)
 	case sampling.ShuffleReply:
-		return samplingIDs(m.Subset)
+		return appendSamplingIDs(dst, m.Subset)
 	case tman.Request:
-		return tmanIDs(m.Buffer)
+		return appendTManIDs(dst, m.Buffer)
 	case tman.Reply:
-		return tmanIDs(m.Buffer)
+		return appendTManIDs(dst, m.Buffer)
 	case core.RelayMsg:
-		return []simnet.NodeID{m.Origin}
+		return append(dst, m.Origin)
 	}
-	return nil
+	return dst
 }
 
-func samplingIDs(view []sampling.Descriptor) []simnet.NodeID {
-	ids := make([]simnet.NodeID, len(view))
-	for i, d := range view {
-		ids[i] = d.ID
+func appendSamplingIDs(dst []simnet.NodeID, view []sampling.Descriptor) []simnet.NodeID {
+	for _, d := range view {
+		dst = append(dst, d.ID)
 	}
-	return ids
+	return dst
 }
 
-func tmanIDs(buf []tman.Descriptor) []simnet.NodeID {
-	ids := make([]simnet.NodeID, len(buf))
-	for i, d := range buf {
-		ids[i] = d.ID
+func appendTManIDs(dst []simnet.NodeID, buf []tman.Descriptor) []simnet.NodeID {
+	for _, d := range buf {
+		dst = append(dst, d.ID)
 	}
-	return ids
+	return dst
+}
+
+// udpAddrEqual reports address equality without normalising allocations.
+func udpAddrEqual(a, b *net.UDPAddr) bool {
+	return a != nil && b != nil && a.Port == b.Port && a.IP.Equal(b.IP) && a.Zone == b.Zone
+}
+
+// copyUDPAddr deep-copies a socket address so book entries never alias the
+// read loop's reusable buffer.
+func copyUDPAddr(a *net.UDPAddr) *net.UDPAddr {
+	return &net.UDPAddr{IP: append(net.IP(nil), a.IP...), Port: a.Port, Zone: a.Zone}
+}
+
+// resetTimer re-arms a timer whose channel may or may not have fired.
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.Reset(d)
 }
 
 func appendU64(b []byte, v uint64) []byte {

@@ -130,16 +130,30 @@ func Types() []byte {
 // another. It fails on message types outside the registry, on simulation-
 // only descriptor payloads, and on bodies larger than MaxBody.
 func Encode(from, to simnet.NodeID, msg simnet.Message) ([]byte, error) {
-	w := &writer{b: make([]byte, HeaderSize, HeaderSize+64)}
-	typ, err := encodeBody(w, msg)
+	return AppendEncode(make([]byte, 0, HeaderSize+64), from, to, msg)
+}
+
+// zeroHeader is the blank header template AppendEncode reserves space with;
+// appending from a package-level array costs no allocation.
+var zeroHeader [HeaderSize]byte
+
+// AppendEncode appends msg's complete frame to dst and returns the extended
+// slice, exactly like append. When dst has spare capacity the encode is
+// allocation-free, which is what the batched UDP send path relies on: frames
+// are encoded directly into per-peer batch buffers (an AllocsPerRun test
+// pins this). On error dst is returned unchanged.
+func AppendEncode(dst []byte, from, to simnet.NodeID, msg simnet.Message) ([]byte, error) {
+	base := len(dst)
+	w := writer{b: append(dst, zeroHeader[:]...)}
+	typ, err := encodeBody(&w, msg)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	body := w.b[HeaderSize:]
+	body := w.b[base+HeaderSize:]
 	if len(body) > MaxBody {
-		return nil, fmt.Errorf("%w: %s body is %d bytes", ErrTooLarge, TypeName(typ), len(body))
+		return dst, fmt.Errorf("%w: %s body is %d bytes", ErrTooLarge, TypeName(typ), len(body))
 	}
-	h := w.b[:HeaderSize]
+	h := w.b[base : base+HeaderSize]
 	h[0], h[1] = magic[0], magic[1]
 	h[2] = Version
 	h[3] = typ
