@@ -116,6 +116,11 @@ func BenchmarkLossResilience(b *testing.B) {
 	b.ReportMetric(float64(len(tab.Rows)), "rows")
 }
 
+func BenchmarkOfflineCatchUp(b *testing.B) {
+	tab := runFigure(b, experiments.OfflineCatchUp)
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
 // BenchmarkFig5Small is the end-to-end regression benchmark behind
 // BENCH_PR4.json: the full Fig. 5 sweep at the Small scale, single worker
 // (so the timing has no scheduling noise). It is the slowest benchmark in

@@ -56,6 +56,7 @@ var figures = []figure{
 	{"clusters", experiments.ClusterAnalysis},
 	{"control-traffic", experiments.ControlTraffic},
 	{"loss", experiments.LossResilience},
+	{"offline", experiments.OfflineCatchUp},
 }
 
 // benchReport is the -bench-json output: enough to compare two builds of the
@@ -87,7 +88,7 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		scaleName  = flag.String("scale", "default", "workload scale: tiny, small, default or paper")
-		figList    = flag.String("fig", "all", "comma-separated figure list (4..12, delay-scaling, gateway-threshold, rate-awareness, proximity, clusters, control-traffic) or all")
+		figList    = flag.String("fig", "all", "comma-separated figure list (4..12, delay-scaling, gateway-threshold, rate-awareness, proximity, clusters, control-traffic, loss, offline) or all")
 		outPath    = flag.String("o", "", "also write output to this file")
 		seed       = flag.Int64("seed", 1, "random seed")
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "max concurrent simulation runs per figure (tables are byte-identical for any value)")

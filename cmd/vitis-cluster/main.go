@@ -16,6 +16,16 @@
 // when goroutine counts keep growing across two post-drain scrapes (a
 // leak detector: idle per-peer flushers must tear themselves down and
 // steady-state gossip must not mint new ones without bound).
+//
+// With -offline-frac F, every node runs with a durable event store and a
+// fraction F of the subscribers is held offline for the whole publish
+// window. Once the online cluster drains, the offline subscribers start,
+// join, and must backfill everything they missed from their neighbors'
+// stores (the catch-up protocol); the delivery ratio then measures
+// completeness over the full subscriber set, offline nodes included, and
+// the table gains the vitis_store_* rows:
+//
+//	vitis-cluster -nodes 100 -offline-frac 0.2 -min-delivery 0.999
 package main
 
 import (
@@ -59,6 +69,10 @@ func main() {
 	flag.Float64Var(&cfg.minDelivery, "min-delivery", 0, "exit non-zero when delivery ratio falls below this")
 	flag.IntVar(&cfg.maxGoroutineGrowth, "max-goroutine-growth", 0,
 		"exit non-zero when total goroutines grew more than this across two post-drain scrapes (0 = nodes count)")
+	flag.Float64Var(&cfg.offlineFrac, "offline-frac", 0,
+		"fraction of subscriber nodes held offline during the publish window, rejoining afterwards to catch up from stores (0 = off)")
+	flag.StringVar(&cfg.storeDir, "store-dir", "",
+		"root directory for per-node event stores (default: a temp dir, removed on exit; implies stores only with -offline-frac)")
 	flag.BoolVar(&cfg.verbose, "v", false, "log per-node progress")
 	flag.Parse()
 
@@ -89,6 +103,8 @@ type clusterConfig struct {
 	periodMs, seed             int64
 	nodeBin, benchOut          string
 	maxGoroutineGrowth         int
+	offlineFrac                float64
+	storeDir                   string
 	verbose                    bool
 }
 
@@ -125,6 +141,15 @@ type summary struct {
 	GoroutinesJoined int64   `json:"goroutines_total_at_join"`
 	GoroutinesFinal  int64   `json:"goroutines_total_at_drain"`
 	GoroutineGrowth  int64   `json:"goroutines_steady_growth"`
+
+	OfflineNodes       int     `json:"offline_nodes,omitempty"`
+	CatchUpSec         float64 `json:"catchup_sec,omitempty"`
+	CatchUpRequests    uint64  `json:"catchup_requests,omitempty"`
+	CatchUpServed      uint64  `json:"catchup_served_events,omitempty"`
+	CatchUpServedBytes uint64  `json:"catchup_served_bytes,omitempty"`
+	CatchUpDeliveries  uint64  `json:"catchup_deliveries,omitempty"`
+	StoreAppends       uint64  `json:"store_appends,omitempty"`
+	StoreRecords       uint64  `json:"store_records,omitempty"`
 
 	goroutineBudget int64
 }
@@ -321,10 +346,62 @@ func buildPlan(cfg clusterConfig) (*plan, error) {
 	return p, nil
 }
 
+// pickOffline selects the subscriber nodes held offline for the publish
+// window: non-publishers with at least one subscription, drawn
+// deterministically from the seed. Publishers must run during the window —
+// they are the event source the others catch up on.
+func pickOffline(cfg clusterConfig, pl *plan) ([]int, error) {
+	if cfg.offlineFrac <= 0 {
+		return nil, nil
+	}
+	if cfg.offlineFrac >= 1 {
+		return nil, fmt.Errorf("-offline-frac %v must be in (0, 1)", cfg.offlineFrac)
+	}
+	isPub := make([]bool, cfg.nodes)
+	for _, n := range pl.pubOf {
+		isPub[n] = true
+	}
+	var candidates []int
+	for n := 0; n < cfg.nodes; n++ {
+		if !isPub[n] && pl.subArgs[n] != "" {
+			candidates = append(candidates, n)
+		}
+	}
+	want := int(float64(cfg.nodes)*cfg.offlineFrac + 0.5)
+	if want < 1 {
+		want = 1
+	}
+	if want > len(candidates) {
+		return nil, fmt.Errorf("-offline-frac %v asks for %d offline subscribers, only %d non-publisher subscribers exist",
+			cfg.offlineFrac, want, len(candidates))
+	}
+	rng := rand.New(rand.NewSource(cfg.seed + 2))
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	offline := candidates[:want]
+	sort.Ints(offline)
+	return offline, nil
+}
+
 func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 	pl, err := buildPlan(cfg)
 	if err != nil {
 		return nil, err
+	}
+	offline, err := pickOffline(cfg, pl)
+	if err != nil {
+		return nil, err
+	}
+	// The offline scenario persists every node's events so late joiners have
+	// stores to walk.
+	storeRoot := cfg.storeDir
+	if len(offline) > 0 && storeRoot == "" {
+		storeRoot, err = os.MkdirTemp("", "vitis-cluster-store-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(storeRoot)
 	}
 
 	bin := cfg.nodeBin
@@ -366,7 +443,13 @@ func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 		}
 		wg.Wait()
 	}()
-	for i := 0; i < cfg.nodes; i++ {
+	offlineSet := make(map[int]bool, len(offline))
+	for _, i := range offline {
+		offlineSet[i] = true
+	}
+	// startNode launches node i with its workload arguments (and a private
+	// store directory when the offline scenario is active).
+	startNode := func(i int) error {
 		args := []string{
 			"-listen", "127.0.0.1:0", "-bootstrap", bsAddr, "-quiet",
 			"-seed", strconv.Itoa(i + 2),
@@ -374,6 +457,9 @@ func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 			"-metrics-addr", "127.0.0.1:0",
 			"-publish-for", cfg.publishFor.String(),
 			"-publish-delay", cfg.settle.String(),
+		}
+		if storeRoot != "" {
+			args = append(args, "-store", fmt.Sprintf("%s/node-%03d", storeRoot, i))
 		}
 		if pl.subArgs[i] != "" {
 			args = append(args, "-subscribe", pl.subArgs[i])
@@ -383,36 +469,66 @@ func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 		}
 		p, err := startProc(bin, args...)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.idx = i
 		procs[i] = p
 		time.Sleep(2 * time.Millisecond) // soften the join stampede
+		return nil
+	}
+	// awaitJoin waits for the given nodes to report their metrics address
+	// and overlay membership.
+	awaitJoin := func(idxs []int, deadline time.Time) error {
+		for _, i := range idxs {
+			p := procs[i]
+			line, err := p.expect("metrics listening on", deadline)
+			if err != nil {
+				return err
+			}
+			p.metricsAddr = line[strings.LastIndex(line, " ")+1:]
+		}
+		for _, i := range idxs {
+			if _, err := procs[i].expect("joined with", deadline); err != nil {
+				return err
+			}
+			if cfg.verbose {
+				fmt.Fprintf(out, "node %d joined\n", i)
+			}
+		}
+		return nil
 	}
 
-	joinDeadline := time.Now().Add(cfg.joinTimeout)
-	for _, p := range procs {
-		line, err := p.expect("metrics listening on", joinDeadline)
-		if err != nil {
+	var onlineIdx []int
+	for i := 0; i < cfg.nodes; i++ {
+		if offlineSet[i] {
+			continue
+		}
+		if err := startNode(i); err != nil {
 			return nil, err
 		}
-		p.metricsAddr = line[strings.LastIndex(line, " ")+1:]
+		onlineIdx = append(onlineIdx, i)
 	}
-	for _, p := range procs {
-		if _, err := p.expect("joined with", joinDeadline); err != nil {
-			return nil, err
-		}
-		if cfg.verbose {
-			fmt.Fprintf(out, "node %d joined\n", p.idx)
-		}
+	if err := awaitJoin(onlineIdx, time.Now().Add(cfg.joinTimeout)); err != nil {
+		return nil, err
 	}
 	joinSec := time.Since(start).Seconds()
 	joined := time.Now()
-	fmt.Fprintf(out, "all %d nodes joined in %.1fs\n", cfg.nodes, joinSec)
+	if len(offline) > 0 {
+		fmt.Fprintf(out, "all %d online nodes joined in %.1fs (%d subscribers held offline)\n",
+			len(onlineIdx), joinSec, len(offline))
+	} else {
+		fmt.Fprintf(out, "all %d nodes joined in %.1fs\n", cfg.nodes, joinSec)
+	}
 
+	// scrapeAll reads every running node's /metrics; nodes not started yet
+	// contribute an empty sample map, keeping indices aligned with the plan.
 	scrapeAll := func() ([]map[string]float64, error) {
 		ms := make([]map[string]float64, len(procs))
 		for i, p := range procs {
+			if p == nil {
+				ms[i] = map[string]float64{}
+				continue
+			}
 			m, err := scrape(p.metricsAddr)
 			if err != nil {
 				return nil, fmt.Errorf("node %d: %w; log tail:\n%s", i, err, p.dump())
@@ -459,6 +575,51 @@ func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 		time.Sleep(1 * time.Second)
 	}
 	loadSec := time.Since(joined).Seconds()
+
+	// Offline-subscriber catch-up phase: the held-back subscribers start
+	// only now, after the publish window closed and drained, so nothing can
+	// reach them through live dissemination — every delivery they make must
+	// come off a neighbor's store. The phase ends when all their catch-up
+	// walks retire and their delivery counters go quiet.
+	var catchUpSec float64
+	if len(offline) > 0 {
+		fmt.Fprintf(out, "starting %d offline subscribers for catch-up\n", len(offline))
+		lateStart := time.Now()
+		for _, i := range offline {
+			if err := startNode(i); err != nil {
+				return nil, err
+			}
+		}
+		if err := awaitJoin(offline, time.Now().Add(cfg.joinTimeout)); err != nil {
+			return nil, err
+		}
+		lateDeadline := time.Now().Add(cfg.drainTimeout)
+		lastDel, stableSince := -1.0, time.Now()
+		for {
+			ms, err := scrapeAll()
+			if err != nil {
+				return nil, err
+			}
+			var del, pending float64
+			for _, i := range offline {
+				del += ms[i]["vitis_core_deliveries_total"]
+				pending += ms[i]["vitis_store_catchup_topics_pending"]
+			}
+			if del != lastDel {
+				lastDel, stableSince = del, time.Now()
+			} else if pending == 0 && time.Since(stableSince) >= cfg.stableFor {
+				break
+			}
+			if time.Now().After(lateDeadline) {
+				return nil, fmt.Errorf("catch-up never drained: late deliveries=%v pending walks=%v", del, pending)
+			}
+			time.Sleep(1 * time.Second)
+		}
+		catchUpSec = time.Since(lateStart).Seconds()
+		if finalScrape, err = scrapeAll(); err != nil {
+			return nil, err
+		}
+	}
 
 	// Leak detector: with the system drained and only background gossip
 	// running, the goroutine population must be flat. A transport that
@@ -521,9 +682,26 @@ func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 		s.goroutineBudget = int64(cfg.nodes)
 	}
 
-	printTable(out, finalScrape)
+	rows := tableRows
+	if storeRoot != "" {
+		s.OfflineNodes = len(offline)
+		s.CatchUpSec = catchUpSec
+		s.CatchUpRequests = uint64(sumOf(finalScrape, "vitis_store_catchup_requests_total"))
+		s.CatchUpServed = uint64(sumOf(finalScrape, "vitis_store_catchup_served_events_total"))
+		s.CatchUpServedBytes = uint64(sumOf(finalScrape, "vitis_store_catchup_served_bytes_total"))
+		s.CatchUpDeliveries = uint64(sumOf(finalScrape, "vitis_store_catchup_deliveries_total"))
+		s.StoreAppends = uint64(sumOf(finalScrape, "vitis_store_appends_total"))
+		s.StoreRecords = uint64(sumOf(finalScrape, "vitis_store_records"))
+		rows = append(append([]string{}, tableRows...), storeRows...)
+	}
+
+	printTable(out, finalScrape, rows)
 	fmt.Fprintf(out, "\npublished=%d expected=%d delivered=%d ratio=%.4f\n",
 		published, expected, delivered, s.DeliveryRatio)
+	if storeRoot != "" {
+		fmt.Fprintf(out, "catch-up: %d offline subscribers backfilled in %.1fs: %d deliveries via catch-up, %d events / %d bytes served from stores (%d records across the cluster)\n",
+			s.OfflineNodes, s.CatchUpSec, s.CatchUpDeliveries, s.CatchUpServed, s.CatchUpServedBytes, s.StoreRecords)
+	}
 	fmt.Fprintf(out, "load ran %.1fs: %.1f delivered msgs/sec (%.1f per core, %d cores)\n",
 		loadSec, s.MsgsPerSec, s.MsgsPerSecCore, s.Cores)
 	fmt.Fprintf(out, "wire: %d frames in %d datagrams (%.2f frames/datagram), %d tx bytes, %d rx bytes, %.0f wire bytes/delivery\n",
@@ -559,12 +737,27 @@ var tableRows = []string{
 	"vitis_proc_max_rss_bytes",
 }
 
+// storeRows extends the table when the cluster runs with durable stores
+// (the -offline-frac scenario).
+var storeRows = []string{
+	"vitis_store_appends_total",
+	"vitis_store_appended_bytes_total",
+	"vitis_store_records",
+	"vitis_store_bytes",
+	"vitis_store_segments",
+	"vitis_store_catchup_requests_total",
+	"vitis_store_catchup_served_events_total",
+	"vitis_store_catchup_served_bytes_total",
+	"vitis_store_catchup_deliveries_total",
+	"vitis_store_catchup_abandoned_total",
+}
+
 // printTable renders sum/mean/min/max over all nodes for the selected
 // metrics — the "one aggregated table" view of the whole cluster.
-func printTable(out io.Writer, ms []map[string]float64) {
+func printTable(out io.Writer, ms []map[string]float64, rows []string) {
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "\nmetric\tsum\tmean\tmin\tmax\n")
-	for _, name := range tableRows {
+	for _, name := range rows {
 		var sum float64
 		min, max := ms[0][name], ms[0][name]
 		for _, m := range ms {
@@ -592,16 +785,23 @@ type benchFile struct {
 }
 
 func writeBench(cfg clusterConfig, s *summary) error {
+	cmd := fmt.Sprintf("vitis-cluster -nodes %d -topics %d -subs-per-node %d -alpha %g -rate %g -publish-for %s -settle %s -period-ms %d -seed %d",
+		cfg.nodes, cfg.topics, cfg.subsPerNode, cfg.alpha, cfg.totalRate, cfg.publishFor, cfg.settle, cfg.periodMs, cfg.seed)
+	notes := []string{
+		"expected_deliveries = sum over topics of published(topic) x subscribers(topic); each topic has one dedicated publisher, itself a subscriber",
+		"goroutines_steady_growth compares vitis_go_goroutines totals across two post-drain scrapes one stable-for apart; a per-peer flusher leak grows here",
+	}
+	if cfg.offlineFrac > 0 {
+		cmd += fmt.Sprintf(" -offline-frac %g", cfg.offlineFrac)
+		notes = append(notes,
+			"offline_nodes subscribers were down for the whole publish window and rejoined afterwards; their deliveries all came through store-backed catch-up, so the delivery ratio measures completeness over the full subscriber set")
+	}
 	doc := benchFile{
-		PR: "real-cluster scale-out: batched UDP wire path + vitis-cluster harness",
-		Command: fmt.Sprintf("vitis-cluster -nodes %d -topics %d -subs-per-node %d -alpha %g -rate %g -publish-for %s -settle %s -period-ms %d -seed %d",
-			cfg.nodes, cfg.topics, cfg.subsPerNode, cfg.alpha, cfg.totalRate, cfg.publishFor, cfg.settle, cfg.periodMs, cfg.seed),
+		PR:          "durable event store with offline-subscriber catch-up",
+		Command:     cmd,
 		Environment: fmt.Sprintf("%d CPU, %s/%s, %s", runtime.NumCPU(), runtime.GOOS, runtime.GOARCH, runtime.Version()),
 		Results:     s,
-		Notes: []string{
-			"expected_deliveries = sum over topics of published(topic) x subscribers(topic); each topic has one dedicated publisher, itself a subscriber",
-			"goroutines_steady_growth compares vitis_go_goroutines totals across two post-drain scrapes one stable-for apart; a per-peer flusher leak grows here",
-		},
+		Notes:       notes,
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

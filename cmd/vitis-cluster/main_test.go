@@ -51,6 +51,49 @@ func TestBuildPlanRejectsTooManyTopics(t *testing.T) {
 	}
 }
 
+// TestClusterCatchUpSmoke runs the offline-subscriber scenario on a real
+// 16-process cluster: every node keeps a durable store, ~20% of the
+// subscribers are down for the whole publish window, and after rejoining
+// they must reach full delivery purely through store-backed catch-up.
+func TestClusterCatchUpSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process cluster in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "vitis-node")
+	if out, err := exec.Command("go", "build", "-o", bin, "vitis/cmd/vitis-node").CombinedOutput(); err != nil {
+		t.Fatalf("building vitis-node: %v\n%s", err, out)
+	}
+	cfg := clusterConfig{
+		nodes: 16, topics: 6, subsPerNode: 3, alpha: 1.0, totalRate: 12,
+		publishFor: 8 * time.Second, settle: 3 * time.Second,
+		joinTimeout: 2 * time.Minute, drainTimeout: 2 * time.Minute,
+		stableFor: 3 * time.Second, periodMs: 200, seed: 42,
+		nodeBin: bin, offlineFrac: 0.2,
+	}
+	var buf bytes.Buffer
+	sum, err := runCluster(cfg, &buf)
+	t.Logf("cluster output:\n%s", buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.OfflineNodes < 3 {
+		t.Fatalf("only %d nodes held offline, want >= 3 (20%% of 16)", sum.OfflineNodes)
+	}
+	if sum.DeliveryRatio < 0.999 {
+		t.Fatalf("delivery ratio %.4f < 0.999 with offline subscribers (delivered %d of %d)",
+			sum.DeliveryRatio, sum.Delivered, sum.Expected)
+	}
+	if sum.CatchUpDeliveries == 0 {
+		t.Fatal("no deliveries came through catch-up — the late nodes got the events some other way")
+	}
+	if sum.CatchUpServedBytes == 0 || sum.CatchUpServed == 0 {
+		t.Fatalf("stores served nothing: events=%d bytes=%d", sum.CatchUpServed, sum.CatchUpServedBytes)
+	}
+	if sum.StoreAppends == 0 || sum.StoreRecords == 0 {
+		t.Fatalf("stores stayed empty: appends=%d records=%d", sum.StoreAppends, sum.StoreRecords)
+	}
+}
+
 // TestClusterSmoke runs a real 16-process cluster end to end: every
 // node a separate OS process with its own UDP socket, full delivery of
 // the publish window, and no goroutine growth between join and drain.

@@ -18,6 +18,14 @@
 // hop-level protocol event is appended to a JSONL span file that
 // "vitis-trace spans" turns back into propagation trees. SIGUSR1 dumps the
 // metric registry to stdout; SIGINT/SIGTERM dump it and exit cleanly.
+//
+// With -store <dir> the node persists every event it publishes, delivers
+// or relays to a durable on-disk log (internal/store) and serves ranged
+// catch-up requests from it; on (re)join it walks its subscribed topics'
+// history on its neighbors' stores, so a subscriber that was offline
+// recovers the events it missed. Retention is tuned with
+// -store-retain-bytes / -store-retain-age; the store is flushed and closed
+// on SIGTERM, and /healthz reports its record counts.
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"vitis/internal/core"
 	"vitis/internal/idspace"
 	"vitis/internal/simnet"
+	"vitis/internal/store"
 	"vitis/internal/telemetry"
 	"vitis/internal/transport"
 	"vitis/internal/transport/chaos"
@@ -65,6 +74,11 @@ func main() {
 	tracePath := flag.String("trace", "", "append hop-level JSONL spans to this file (empty = off)")
 	chaosSpec := flag.String("chaos", os.Getenv("VITIS_CHAOS"),
 		"fault-injection scenario, e.g. 'drop=0.2,delay=5ms-30ms;island@5s+10s' (default $VITIS_CHAOS)")
+	storeDir := flag.String("store", "", "directory for the durable event store (empty = off)")
+	storeRetainBytes := flag.Int64("store-retain-bytes", 0, "drop oldest store segments past this total size (0 = unbounded)")
+	storeRetainAge := flag.Duration("store-retain-age", 0, "drop store segments whose newest record is older than this (0 = unbounded)")
+	storeSegmentBytes := flag.Int("store-segment-bytes", 0, "store segment rotation size in bytes (0 = 4 MiB)")
+	storeFsyncEvery := flag.Int("store-fsync-every", 0, "fsync the store after this many appends (0 = 64)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "vitis-node: unexpected argument %q\n", flag.Arg(0))
@@ -93,6 +107,13 @@ func main() {
 		metricsAddr:  *metricsAddr,
 		tracePath:    *tracePath,
 		chaosSpec:    *chaosSpec,
+		storeDir:     *storeDir,
+		storeCfg: store.DiskConfig{
+			SegmentBytes: *storeSegmentBytes,
+			RetainBytes:  *storeRetainBytes,
+			RetainAge:    *storeRetainAge,
+			FsyncEvery:   *storeFsyncEvery,
+		},
 	}); err != nil {
 		fatalf("%v", err)
 	}
@@ -140,6 +161,8 @@ type config struct {
 	want                              int
 	metricsAddr, tracePath            string
 	chaosSpec                         string
+	storeDir                          string
+	storeCfg                          store.DiskConfig
 }
 
 func run(cfg config) error {
@@ -211,8 +234,15 @@ func run(cfg config) error {
 			return 0
 		})
 
+	// storeInfo renders the store line /healthz appends; nil means no store.
+	var storeInfo func() string
+	var evStore store.EventStore
+
 	switch cfg.role {
 	case "bootstrap":
+		if cfg.storeDir != "" {
+			return fmt.Errorf("-store applies to role=node only")
+		}
 		// Lease registrations for 30 gossip rounds, so slow test clusters
 		// and long-lived deployments both age peers out sensibly.
 		bs := bootstrap.New(host, self, bootstrap.Config{Lease: 30 * period, DefaultWant: cfg.want})
@@ -231,12 +261,33 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
+		metrics := telemetry.NewNodeMetrics(reg)
+		if cfg.storeDir != "" {
+			scfg := cfg.storeCfg
+			scfg.Metrics = telemetry.NewStoreMetrics(reg)
+			ds, err := store.OpenDisk(cfg.storeDir, scfg)
+			if err != nil {
+				return fmt.Errorf("opening event store: %w", err)
+			}
+			evStore = ds
+			st := ds.Stats()
+			fmt.Printf("store open dir=%s records=%d bytes=%d segments=%d\n",
+				cfg.storeDir, st.Records, st.Bytes, st.Segments)
+			// Both reads below are safe off the driver goroutine: Stats
+			// locks the store, the gauge is atomic.
+			storeInfo = func() string {
+				s := evStore.Stats()
+				return fmt.Sprintf("store records=%d bytes=%d topics=%d segments=%d catchup_pending=%d",
+					s.Records, s.Bytes, s.Topics, s.Segments, metrics.CatchUpPending.Value())
+			}
+		}
 		nodeCfg := nodeConfig{
 			self: self, bsID: bsID, subscribe: cfg.subscribe,
 			pubRate: cfg.pubRate, pubs: pubs,
 			publishFor: cfg.publishFor, publishDelay: cfg.publishDelay,
 			quiet: cfg.quiet, period: period, want: cfg.want, seed: cfg.seed,
-			metrics: telemetry.NewNodeMetrics(reg), tracer: tracer, joined: &joined,
+			metrics: metrics, tracer: tracer, joined: &joined,
+			store: evStore,
 		}
 		if err := setupNode(eng, host, nodeCfg); err != nil {
 			return err
@@ -245,7 +296,7 @@ func run(cfg config) error {
 		return fmt.Errorf("unknown -role %q (want node or bootstrap)", cfg.role)
 	}
 
-	srv, err := serveMetrics(cfg.metricsAddr, reg, &joined)
+	srv, err := serveMetrics(cfg.metricsAddr, reg, &joined, storeInfo)
 	if err != nil {
 		return err
 	}
@@ -276,6 +327,18 @@ func run(cfg config) error {
 		cancel()
 	}
 	wg.Wait()
+	// The driver is stopped, so nothing appends anymore: flush the tail and
+	// release the store before reporting — a durable log that loses its last
+	// page on SIGTERM defeats its purpose.
+	if evStore != nil {
+		st := evStore.Stats()
+		if err := evStore.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "vitis-node: closing event store: %v\n", err)
+		} else {
+			fmt.Printf("store closed records=%d bytes=%d segments=%d\n",
+				st.Records, st.Bytes, st.Segments)
+		}
+	}
 	printMetrics(reg)
 	if tracer != nil {
 		if err := tracer.Flush(); err != nil {
@@ -287,9 +350,10 @@ func run(cfg config) error {
 }
 
 // serveMetrics starts the observability HTTP listener: Prometheus text on
-// /metrics, join state on /healthz, the Go profiler under /debug/pprof/.
-// A nil server is returned when addr is empty.
-func serveMetrics(addr string, reg *telemetry.Registry, joined *atomic.Bool) (*http.Server, error) {
+// /metrics, join state (plus one store summary line, when the node runs
+// with -store) on /healthz, the Go profiler under /debug/pprof/. A nil
+// server is returned when addr is empty.
+func serveMetrics(addr string, reg *telemetry.Registry, joined *atomic.Bool, storeInfo func() string) (*http.Server, error) {
 	if addr == "" {
 		return nil, nil
 	}
@@ -305,6 +369,9 @@ func serveMetrics(addr string, reg *telemetry.Registry, joined *atomic.Bool) (*h
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if joined.Load() {
 			fmt.Fprintln(w, "ok")
+			if storeInfo != nil {
+				fmt.Fprintln(w, storeInfo())
+			}
 			return
 		}
 		http.Error(w, "joining", http.StatusServiceUnavailable)
@@ -336,6 +403,7 @@ type nodeConfig struct {
 	metrics      *telemetry.NodeMetrics
 	tracer       *telemetry.Tracer
 	joined       *atomic.Bool
+	store        store.EventStore
 }
 
 // setupNode builds the Vitis node and schedules the wire-level join dance:
@@ -367,6 +435,7 @@ func setupNode(eng *simnet.Engine, host *transport.Host, cfg nodeConfig) error {
 		OnDeliver: onDeliver,
 		Metrics:   cfg.metrics,
 		Tracer:    cfg.tracer,
+		Store:     cfg.store,
 	})
 	var topics []core.TopicID
 	if cfg.subscribe != "" {
@@ -404,6 +473,9 @@ func setupNode(eng *simnet.Engine, host *transport.Host, cfg nodeConfig) error {
 			if rejoining {
 				rejoining = false
 				node.Rejoin(resp.Peers)
+				// Replay (inside Rejoin) closes short gaps from the ring
+				// buffers; the store walk backfills anything older.
+				node.StartCatchUp()
 				fmt.Printf("rejoined with %d peers\n", len(resp.Peers))
 			}
 			return
@@ -423,6 +495,9 @@ func setupNode(eng *simnet.Engine, host *transport.Host, cfg nodeConfig) error {
 		cfg.joined.Store(true)
 		joinedAt = eng.Now()
 		node.Join(resp.Peers)
+		// Walk the subscribed topics' history on neighbor stores: a node
+		// that was offline (or is brand new) backfills what it missed.
+		node.StartCatchUp()
 		host.Attach(self, steady)
 		fmt.Printf("joined with %d peers\n", len(resp.Peers))
 	}))

@@ -246,6 +246,90 @@ func TestRealProcessCluster(t *testing.T) {
 	}
 }
 
+// TestStoreBackedCatchUp exercises the durable-store path end to end with
+// real processes: a publisher running with -store persists a finite burst
+// of events, a subscriber that starts only after the burst is over must
+// still deliver them by walking the publisher's store, /healthz reports the
+// store state, and SIGTERM closes the store cleanly.
+func TestStoreBackedCatchUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process test in -short mode")
+	}
+	bin := buildNode(t)
+	storeDir := filepath.Join(t.TempDir(), "events")
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	bs := startProc(t, ctx, bin, "-role", "bootstrap", "-listen", "127.0.0.1:0", "-seed", "1", "-period-ms", "100")
+	line := bs.expect(t, "listening on", 10*time.Second)
+	bsAddr := line[strings.LastIndex(line, " ")+1:]
+
+	pub := startProc(t, ctx, bin, "-listen", "127.0.0.1:0", "-bootstrap", bsAddr,
+		"-seed", "2", "-period-ms", "100", "-subscribe", "news",
+		"-store", storeDir, "-metrics-addr", "127.0.0.1:0",
+		"-publish-rate", "10", "-publish-for", "1s")
+	pubLine := pub.expect(t, "id=", 10*time.Second)
+	pubID := strings.TrimPrefix(strings.Fields(pubLine)[0], "id=")
+	pub.expect(t, "store open dir=", 10*time.Second)
+	mLine := pub.expect(t, "metrics listening on", 10*time.Second)
+	metricsAddr := mLine[strings.LastIndex(mLine, " ")+1:]
+	pub.expect(t, "joined with", 30*time.Second)
+	pub.expect(t, "DELIVER", 30*time.Second)
+
+	// Let the publish window close, so the late subscriber cannot receive
+	// anything through live dissemination.
+	time.Sleep(1500 * time.Millisecond)
+	published := pub.countLines("DELIVER")
+	if published == 0 {
+		t.Fatal("publisher delivered nothing in its window")
+	}
+
+	// The store must have persisted the burst; /healthz reports it.
+	m := scrapeMetrics(t, metricsAddr)
+	if got := m["vitis_store_appends_total"]; got < float64(published) {
+		t.Errorf("vitis_store_appends_total = %v, want >= %d", got, published)
+	}
+	resp, err := http.Get("http://" + metricsAddr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "store records=") {
+		t.Errorf("/healthz without store state:\n%s", body)
+	}
+
+	// A subscriber born after the burst backfills the history via catch-up.
+	late := startProc(t, ctx, bin, "-listen", "127.0.0.1:0", "-bootstrap", bsAddr,
+		"-seed", "5", "-period-ms", "100", "-subscribe", "news")
+	late.expect(t, "joined with", 30*time.Second)
+	caught := late.expect(t, "DELIVER", 30*time.Second)
+	if !strings.Contains(caught, "event="+pubID) {
+		t.Errorf("late subscriber delivered %q, want an event from %s", caught, pubID)
+	}
+
+	// SIGTERM flushes and closes the store on the way out.
+	if err := pub.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	pub.expect(t, "store closed records=", 10*time.Second)
+	done := make(chan error, 1)
+	go func() { done <- pub.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("publisher exited with %v, want clean exit; log:\n%s", err, pub.dump())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("publisher did not exit after SIGTERM; log:\n%s", pub.dump())
+	}
+	// The directory holds at least one real segment.
+	segs, err := filepath.Glob(filepath.Join(storeDir, "events-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Errorf("no store segments on disk after shutdown (err=%v)", err)
+	}
+}
+
 // TestGracefulShutdown verifies that SIGUSR1 dumps the registry while the
 // node runs and that SIGTERM drains everything — the HTTP listener, the
 // signal loop and the final metrics dump — within the grace period, with a

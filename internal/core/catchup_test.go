@@ -1,0 +1,388 @@
+package core
+
+import (
+	"testing"
+
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+	"vitis/internal/store"
+	"vitis/internal/telemetry"
+)
+
+// newStoreNode builds a single node with an attached MemStore and live
+// metrics on its own simnet.
+func newStoreNode(t *testing.T, p Params) (*simnet.Engine, *simnet.Network, *Node, *telemetry.NodeMetrics) {
+	t.Helper()
+	eng := simnet.NewEngine(1)
+	net := simnet.NewNetwork(eng, simnet.ConstantLatency(5))
+	m := telemetry.NewNodeMetrics(telemetry.NewRegistry())
+	n := NewNode(net, 100, p, Hooks{Metrics: m, Store: store.NewMem(0, nil)})
+	n.Join(nil)
+	return eng, net, n, m
+}
+
+func TestCatchUpServesPagedHistoryInOrder(t *testing.T) {
+	// Budget of 80 bytes fits three 25-byte metadata events per page, so
+	// seven published events must arrive as pages of 3+3+1.
+	eng, net, n, m := newStoreNode(t, Params{CatchUpPageBytes: 80})
+	tp := Topic("page")
+	var want []EventID
+	for i := 0; i < 7; i++ {
+		want = append(want, n.Publish(tp))
+	}
+
+	var pages []CatchUpResp
+	net.Attach(900, simnet.HandlerFunc(func(from NodeID, msg simnet.Message) {
+		if r, ok := msg.(CatchUpResp); ok {
+			pages = append(pages, r)
+		}
+	}))
+	after := uint64(0)
+	for i := 0; i < 10; i++ {
+		n.handleCatchUpReq(900, CatchUpReq{Topic: tp, After: after})
+		eng.RunUntil(eng.Now() + simnet.Second)
+		if len(pages) != i+1 {
+			t.Fatalf("request %d produced %d responses", i+1, len(pages))
+		}
+		last := pages[len(pages)-1]
+		after = last.Next
+		if !last.More {
+			break
+		}
+	}
+	if len(pages) != 3 {
+		t.Fatalf("history served in %d pages, want 3", len(pages))
+	}
+	var got []EventID
+	for i, pg := range pages {
+		if wantLen := []int{3, 3, 1}[i]; len(pg.Events) != wantLen {
+			t.Errorf("page %d holds %d events, want %d", i, len(pg.Events), wantLen)
+		}
+		if pg.More != (i < 2) {
+			t.Errorf("page %d More = %v", i, pg.More)
+		}
+		for _, e := range pg.Events {
+			got = append(got, e.Event)
+		}
+	}
+	for i, ev := range got {
+		if ev != want[i] {
+			t.Errorf("served[%d] = %v, want %v (append order)", i, ev, want[i])
+		}
+	}
+	if m.CatchUpServed.Value() != 7 {
+		t.Errorf("CatchUpServed = %d, want 7", m.CatchUpServed.Value())
+	}
+	if m.CatchUpServedBytes.Value() != 7*25 {
+		t.Errorf("CatchUpServedBytes = %d, want %d", m.CatchUpServedBytes.Value(), 7*25)
+	}
+}
+
+func TestStorelessServerAnswersEmptyComplete(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	net := simnet.NewNetwork(eng, simnet.ConstantLatency(5))
+	n := NewNode(net, 100, Params{}, Hooks{}) // no store
+	n.Join(nil)
+	var resps []CatchUpResp
+	net.Attach(900, simnet.HandlerFunc(func(from NodeID, msg simnet.Message) {
+		if r, ok := msg.(CatchUpResp); ok {
+			resps = append(resps, r)
+		}
+	}))
+	n.handleCatchUpReq(900, CatchUpReq{Topic: Topic("t"), After: 5})
+	eng.RunUntil(simnet.Second)
+	if len(resps) != 1 {
+		t.Fatalf("%d responses, want 1: storeless nodes must answer", len(resps))
+	}
+	r := resps[0]
+	if r.More || len(r.Events) != 0 || r.Next != 5 {
+		t.Errorf("storeless answer = %+v, want empty complete page echoing the cursor", r)
+	}
+}
+
+func TestCatchUpServedHasDataMatchesHeldPayloads(t *testing.T) {
+	// Same discipline as replay: HasData is only advertised when the server
+	// can actually serve the pull (or ships the payload inline).
+	eng, net, n, _ := newStoreNode(t, Params{})
+	tp := Topic("data")
+	gone := EventID{Publisher: 7, Seq: 1}
+	held := EventID{Publisher: 7, Seq: 2}
+	n.storeAppend(tp, gone, 1, true, nil) // payload never held locally
+	n.storeAppend(tp, held, 1, true, []byte("pay"))
+
+	var resp CatchUpResp
+	net.Attach(900, simnet.HandlerFunc(func(from NodeID, msg simnet.Message) {
+		if r, ok := msg.(CatchUpResp); ok {
+			resp = r
+		}
+	}))
+	n.handleCatchUpReq(900, CatchUpReq{Topic: tp})
+	eng.RunUntil(simnet.Second)
+	if len(resp.Events) != 2 {
+		t.Fatalf("served %d events, want 2", len(resp.Events))
+	}
+	if resp.Events[0].HasData {
+		t.Error("event without a held payload still advertises HasData")
+	}
+	if !resp.Events[1].HasData || string(resp.Events[1].Payload) != "pay" {
+		t.Errorf("stored payload not served inline: %+v", resp.Events[1])
+	}
+}
+
+func TestStoreAppendSkipsAlreadyStoredHistory(t *testing.T) {
+	_, _, n, _ := newStoreNode(t, Params{})
+	tp := Topic("dup")
+	n.storeAppend(tp, EventID{Publisher: 9, Seq: 1}, 0, false, nil)
+	n.storeAppend(tp, EventID{Publisher: 9, Seq: 1}, 3, false, nil) // duplicate
+	n.storeAppend(tp, EventID{Publisher: 9, Seq: 2}, 0, false, nil)
+	if got := n.store.Stats().Records; got != 2 {
+		t.Errorf("store holds %d records after a duplicate append, want 2", got)
+	}
+}
+
+func TestCatchUpEmptyQuorumRetiresTopic(t *testing.T) {
+	_, _, n, _ := newStoreNode(t, Params{})
+	tp := Topic("quorum")
+	n.Subscribe(tp)
+	n.StartCatchUp()
+	st := n.catchUp[tp]
+	if st == nil {
+		t.Fatal("StartCatchUp did not create a walk for the topic")
+	}
+	// Peers 200 and 300 are known subscribers of the topic, so their empty
+	// answers carry evidential weight; 400 is uninterested.
+	n.profiles[200] = &Profile{ID: 200, Subs: []TopicID{tp}}
+	n.profiles[300] = &Profile{ID: 300, Subs: []TopicID{tp}}
+	n.profiles[400] = &Profile{ID: 400}
+
+	// An uninterested peer's empty answer rotates but proves nothing.
+	st.peer, st.hasPeer, st.awaiting = 400, true, true
+	n.handleCatchUpResp(400, CatchUpResp{Topic: tp})
+	if st.empties != 0 {
+		t.Fatalf("uninterested peer's empty answer counted: empties = %d", st.empties)
+	}
+	// First interested peer answers complete-and-empty: not yet conclusive.
+	st.peer, st.hasPeer, st.awaiting = 200, true, true
+	n.handleCatchUpResp(200, CatchUpResp{Topic: tp})
+	if n.CatchUpPending() != 1 {
+		t.Fatal("walk retired after a single empty answer")
+	}
+	// An unsolicited answer (nothing awaited) must be ignored.
+	n.handleCatchUpResp(300, CatchUpResp{Topic: tp})
+	if st.empties != 1 {
+		t.Fatalf("unsolicited empty answer counted: empties = %d", st.empties)
+	}
+	// Second interested peer confirms: there is no history to fetch.
+	st.peer, st.hasPeer, st.awaiting = 300, true, true
+	n.handleCatchUpResp(300, CatchUpResp{Topic: tp})
+	if n.CatchUpPending() != 0 {
+		t.Error("two empty answers did not retire the walk")
+	}
+}
+
+func TestUninterestedCompletionDoesNotRetire(t *testing.T) {
+	// An uninterested neighbor is typically a relay: it stores only the
+	// events that routed through it, so draining its history proves
+	// nothing. Its records are consumed, but the walk keeps going until an
+	// interested subscriber's history completes.
+	_, _, n, m := newStoreNode(t, Params{})
+	tp := Topic("relay-partial")
+	n.Subscribe(tp)
+	n.StartCatchUp()
+	st := n.catchUp[tp]
+
+	st.peer, st.hasPeer, st.awaiting = 700, true, true
+	n.handleCatchUpResp(700, CatchUpResp{Topic: tp, Next: 2, Events: []CatchUpEvent{
+		{Event: EventID{Publisher: 9, Seq: 1}},
+		{Event: EventID{Publisher: 9, Seq: 2}},
+	}})
+	if m.CatchUpDelivered.Value() != 2 {
+		t.Errorf("relay-served records not delivered: %d", m.CatchUpDelivered.Value())
+	}
+	if n.CatchUpPending() != 1 {
+		t.Fatal("uninterested peer's completion retired the walk")
+	}
+	if st.hasPeer || !st.tried[700] || st.after != 0 || st.gotAny {
+		t.Error("relay peer not rotated out after its history drained")
+	}
+
+	// The same shape from an interested subscriber retires the walk.
+	n.profiles[800] = &Profile{ID: 800, Subs: []TopicID{tp}}
+	st.peer, st.hasPeer, st.awaiting = 800, true, true
+	n.handleCatchUpResp(800, CatchUpResp{Topic: tp, Next: 3, Events: []CatchUpEvent{
+		{Event: EventID{Publisher: 9, Seq: 3}},
+	}})
+	if n.CatchUpPending() != 0 {
+		t.Error("interested subscriber's drained history did not retire the walk")
+	}
+}
+
+func TestBusyServerNeverClaimsCompleteness(t *testing.T) {
+	// A node that is itself mid-catch-up for a topic has an incomplete
+	// store: it must serve what it has with More=true, and an empty answer
+	// from it (More=true, no events) must make the client rotate without
+	// counting the empty toward the retirement quorum.
+	eng, net, n, _ := newStoreNode(t, Params{})
+	tp := Topic("busy")
+	n.Subscribe(tp)
+	n.StartCatchUp() // n now has an active walk for tp
+
+	var resp CatchUpResp
+	var got bool
+	net.Attach(900, simnet.HandlerFunc(func(from NodeID, msg simnet.Message) {
+		if r, ok := msg.(CatchUpResp); ok {
+			resp, got = r, true
+		}
+	}))
+	// Empty store while busy: the sentinel shape.
+	n.handleCatchUpReq(900, CatchUpReq{Topic: tp, After: 3})
+	eng.RunUntil(eng.Now() + simnet.Second)
+	if !got || !resp.More || len(resp.Events) != 0 || resp.Next != 3 {
+		t.Fatalf("busy empty answer = %+v, want More=true with no events echoing the cursor", resp)
+	}
+	// Partial store while busy: records are served but never as complete.
+	n.storeAppend(tp, EventID{Publisher: 7, Seq: 1}, 0, false, nil)
+	got = false
+	n.handleCatchUpReq(900, CatchUpReq{Topic: tp, After: 0})
+	eng.RunUntil(eng.Now() + simnet.Second)
+	if !got || !resp.More || len(resp.Events) != 1 {
+		t.Fatalf("busy partial answer = %+v, want the record with More=true", resp)
+	}
+
+	// Client side: a busy-empty answer rotates the peer without an empty.
+	st := n.catchUp[tp]
+	n.profiles[200] = &Profile{ID: 200, Subs: []TopicID{tp}}
+	st.peer, st.hasPeer, st.awaiting, st.after = 200, true, true, 5
+	n.handleCatchUpResp(200, CatchUpResp{Topic: tp, Next: 5, More: true})
+	if st.empties != 0 {
+		t.Errorf("busy peer's empty answer counted as evidence: empties = %d", st.empties)
+	}
+	if st.hasPeer || !st.tried[200] || st.after != 0 {
+		t.Error("busy peer not rotated out")
+	}
+	if n.CatchUpPending() != 1 {
+		t.Error("walk retired on a busy answer")
+	}
+}
+
+func TestCatchUpRotatesUnresponsivePeer(t *testing.T) {
+	_, _, n, _ := newStoreNode(t, Params{})
+	tp := Topic("rotate")
+	n.Subscribe(tp)
+	n.StartCatchUp()
+	st := n.catchUp[tp]
+	st.peer, st.hasPeer, st.awaiting = 555, true, true
+	st.after, st.gotAny = 9, true
+
+	for i := 0; i < catchUpTimeoutBeats-1; i++ {
+		n.catchUpTick()
+		if !st.awaiting {
+			t.Fatalf("request given up after only %d beats", i+1)
+		}
+	}
+	n.catchUpTick()
+	if st.awaiting || st.hasPeer {
+		t.Error("dead peer not rotated out after the timeout")
+	}
+	if st.after != 0 || st.gotAny {
+		t.Error("cursor not reset for the next peer (store sequences are per-peer)")
+	}
+}
+
+func TestCatchUpBackfillsRejoinedSubscriber(t *testing.T) {
+	// The mailserver scenario end to end: a subscriber is offline while
+	// events are published, rejoins with empty state, and must recover the
+	// full history from its neighbors' stores.
+	tp := Topic("offline")
+	eng := simnet.NewEngine(42)
+	net := simnet.NewNetwork(eng, simnet.UniformLatency{Min: 10, Max: 80})
+	const size = 20
+	params := Params{NetworkSizeEstimate: size}
+	delivered := make(map[EventID]map[NodeID]bool)
+	onDeliver := func(node NodeID, topic TopicID, ev EventID, hops int) {
+		if delivered[ev] == nil {
+			delivered[ev] = make(map[NodeID]bool)
+		}
+		if delivered[ev][node] {
+			t.Errorf("node %v delivered %v twice", node, ev)
+		}
+		delivered[ev][node] = true
+	}
+
+	ids := make([]NodeID, size)
+	nodes := make([]*Node, size)
+	for i := range ids {
+		ids[i] = idspace.HashUint64(uint64(i))
+		nodes[i] = NewNode(net, ids[i], params, Hooks{
+			OnDeliver: onDeliver,
+			Store:     store.NewMem(0, nil),
+		})
+		nodes[i].Subscribe(tp)
+	}
+	for i, nd := range nodes {
+		nd.Join([]NodeID{ids[(i+1)%size], ids[(i+2)%size], ids[(i+3)%size]})
+	}
+	eng.RunUntil(35 * simnet.Second)
+
+	victim := nodes[5]
+	victim.Leave()
+	eng.RunUntil(eng.Now() + 15*simnet.Second)
+
+	var evs []EventID
+	for i := 0; i < 10; i++ {
+		evs = append(evs, nodes[0].Publish(tp))
+	}
+	eng.RunUntil(eng.Now() + 15*simnet.Second)
+	for _, ev := range evs {
+		if delivered[ev][victim.ID()] {
+			t.Fatal("offline node delivered an event; test setup is wrong")
+		}
+	}
+
+	// The node returns with a fresh (empty) store and walks the history.
+	met := telemetry.NewNodeMetrics(telemetry.NewRegistry())
+	fresh := NewNode(net, victim.ID(), params, Hooks{
+		OnDeliver: onDeliver,
+		Store:     store.NewMem(0, nil),
+		Metrics:   met,
+	})
+	fresh.Subscribe(tp)
+	fresh.Join([]NodeID{ids[0], ids[1]})
+	fresh.StartCatchUp()
+	nodes[5] = fresh
+	eng.RunUntil(eng.Now() + 25*simnet.Second)
+
+	for i, ev := range evs {
+		if !delivered[ev][fresh.ID()] {
+			t.Errorf("missed event %d (%v) never caught up", i, ev)
+		}
+	}
+	if fresh.CatchUpPending() != 0 {
+		t.Errorf("CatchUpPending = %d after the walk, want 0", fresh.CatchUpPending())
+	}
+	if met.CatchUpDelivered.Value() != uint64(len(evs)) {
+		t.Errorf("CatchUpDelivered = %d, want %d", met.CatchUpDelivered.Value(), len(evs))
+	}
+	if got := fresh.store.Stats().Records; got != len(evs) {
+		t.Errorf("rejoined node stored %d records, want %d (history re-persisted)", got, len(evs))
+	}
+}
+
+// TestNilStoreHotPathAllocatesNothing pins the acceptance bar for the
+// opt-in store: a node built without one must pay a single nil check per
+// event and zero allocations (same pattern as chaos's nil-controller path).
+func TestNilStoreHotPathAllocatesNothing(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	net := simnet.NewNetwork(eng, simnet.ConstantLatency(5))
+	n := NewNode(net, 100, Params{}, Hooks{}) // no store, no metrics
+	tp := Topic("alloc")
+	ev := EventID{Publisher: 100, Seq: 1}
+	if a := testing.AllocsPerRun(1000, func() {
+		n.storeAppend(tp, ev, 0, false, nil)
+		if n.CatchUpPending() != 0 {
+			t.Fatal("storeless node has catch-up state")
+		}
+	}); a != 0 {
+		t.Errorf("nil-store append path allocates %.1f per event, want 0", a)
+	}
+}

@@ -46,6 +46,7 @@ func (n *Node) Publish(t TopicID) EventID {
 	if n.params.Recovery {
 		n.recordRecent(t, ev, 0, false)
 	}
+	n.storeAppend(t, ev, 0, false, nil)
 	n.tracer.Emit(telemetry.SpanEvent{
 		Kind: telemetry.KindPublish, Node: uint64(n.id),
 		Topic: uint64(t), Pub: uint64(ev.Publisher), Seq: ev.Seq,
@@ -95,6 +96,11 @@ func (n *Node) handleNotification(from NodeID, m Notification) {
 	n.seen.add(m.Event)
 	if n.params.Recovery && interested {
 		n.recordRecent(m.Topic, m.Event, m.Hops, m.HasData)
+	}
+	if n.store != nil && (interested || n.IsRelay(m.Topic)) {
+		// Persist what this node delivers or relays: both roles serve
+		// catch-up requests for the topic later.
+		n.storeAppend(m.Topic, m.Event, m.Hops, m.HasData, nil)
 	}
 	if interested {
 		n.tel.Deliveries.Inc()

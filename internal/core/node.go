@@ -7,6 +7,7 @@ import (
 	"vitis/internal/idspace"
 	"vitis/internal/sampling"
 	"vitis/internal/simnet"
+	"vitis/internal/store"
 	"vitis/internal/telemetry"
 	"vitis/internal/tman"
 )
@@ -106,6 +107,13 @@ type Node struct {
 	seenRounds int
 	pubSeq     uint64
 
+	// Durable event history (internal/store; nil = disabled). Events this
+	// node publishes, delivers, or relays are appended so offline
+	// subscribers can catch up from it; catchUp tracks this node's own
+	// per-topic catch-up walks (see catchup.go).
+	store   store.EventStore
+	catchUp map[TopicID]*catchUpState
+
 	// Pull state (§III-C's notify-then-pull data plane). All four maps are
 	// evicted alongside the seen-set generations (evictPullState) so they
 	// stay bounded over long runs; pulling additionally drives the
@@ -155,6 +163,7 @@ func NewNode(net simnet.Net, id NodeID, params Params, hooks Hooks) *Node {
 		n.tel = disabledMetrics
 	}
 	n.tracer = hooks.Tracer
+	n.store = hooks.Store
 	n.rng = net.Engine().DeriveRNG(int64(id))
 	return n
 }
@@ -308,6 +317,10 @@ func (n *Node) dispatch(from NodeID, msg simnet.Message) {
 		n.handlePullResp(from, m)
 	case ReplayReq:
 		n.handleReplayReq(from, m)
+	case CatchUpReq:
+		n.handleCatchUpReq(from, m)
+	case CatchUpResp:
+		n.handleCatchUpResp(from, m)
 	}
 }
 
@@ -360,6 +373,11 @@ func (n *Node) heartbeat() {
 	}
 	// Resend pulls whose response is overdue (lost PullReq/PullResp).
 	n.retryPulls(now)
+	// Advance store catch-up walks, one page per topic per beat. With no
+	// walk active (the common case) this is a single map-length check.
+	if len(n.catchUp) > 0 {
+		n.catchUpTick()
+	}
 	// Note isolation so the first neighbor heard afterwards is asked for a
 	// replay of whatever flooded past us in the meantime.
 	if n.params.Recovery {
@@ -410,6 +428,7 @@ func (n *Node) updateGauges(now simnet.Time) {
 	}
 	n.tel.GatewayTopics.Set(int64(gw))
 	n.tel.RelayTopics.Set(int64(relays))
+	n.tel.CatchUpPending.Set(int64(len(n.catchUp)))
 }
 
 // seenRotateRounds is how many heartbeat rounds one seen-set generation

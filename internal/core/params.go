@@ -22,6 +22,7 @@ package core
 import (
 	"vitis/internal/idspace"
 	"vitis/internal/simnet"
+	"vitis/internal/store"
 	"vitis/internal/telemetry"
 )
 
@@ -82,6 +83,12 @@ type Params struct {
 	// retained for replay to recovering peers (default 128; only used with
 	// Recovery).
 	ReplayDepth int
+	// CatchUpPageBytes caps one store catch-up response page (see
+	// catchup.go): a node backfilling an offline subscriber sends at most
+	// this many event bytes per topic per heartbeat, so history transfers
+	// cannot starve live traffic. Default 16 KiB; responses are always
+	// additionally clamped to fit one wire frame.
+	CatchUpPageBytes int
 	// AntiEntropyRounds is how many heartbeat rounds pass between
 	// anti-entropy sweeps, where one rotating neighbor is asked to replay
 	// its recent events (default 20; only used with Recovery). Sweeps mop
@@ -131,6 +138,9 @@ func (p Params) WithDefaults() Params {
 	if p.ReplayDepth == 0 {
 		p.ReplayDepth = 128
 	}
+	if p.CatchUpPageBytes == 0 {
+		p.CatchUpPageBytes = 16 << 10
+	}
 	if p.AntiEntropyRounds == 0 {
 		p.AntiEntropyRounds = 20
 	}
@@ -175,4 +185,9 @@ type Hooks struct {
 	// Tracer records hop-level span events (publishes, receipts, relay
 	// lookup hops, pulls) as JSONL. Nil disables tracing entirely.
 	Tracer *telemetry.Tracer
+	// Store persists events this node publishes, delivers, or relays, and
+	// serves peers' catch-up requests from them (see catchup.go). Nil
+	// disables the store entirely at the cost of one branch per event —
+	// simulations stay byte-identical with it off.
+	Store store.EventStore
 }

@@ -57,6 +57,7 @@ func (n *Node) PublishData(t TopicID, payload []byte) EventID {
 	if n.params.Recovery {
 		n.recordRecent(t, ev, 0, true)
 	}
+	n.storeAppend(t, ev, 0, true, payload)
 	n.tracer.Emit(telemetry.SpanEvent{
 		Kind: telemetry.KindPublish, Node: uint64(n.id),
 		Topic: uint64(t), Pub: uint64(ev.Publisher), Seq: ev.Seq,

@@ -27,6 +27,21 @@ func (m PullReq) WireSize() int { return 16 }
 // WireSize implements simnet.Sized.
 func (m PullResp) WireSize() int { return 16 + 4 + len(m.Payload) }
 
+// WireSize implements simnet.Sized.
+func (m CatchUpReq) WireSize() int { return 8 + 8 }
+
+// WireSize implements simnet.Sized: topic(8) + next(8) + more(1) +
+// count(2), then per event publisher(8)+seq(8)+hops(4)+flags(1)+
+// payload length(4)+payload — the same 25+len cost store.Record.WireCost
+// reports, which is what keeps ReadRange's byte budget honest.
+func (m CatchUpResp) WireSize() int {
+	n := 8 + 8 + 1 + 2
+	for _, e := range m.Events {
+		n += 25 + len(e.Payload)
+	}
+	return n
+}
+
 // WireSize makes subscription summaries measurable inside T-Man buffers:
 // a 2-byte count plus 8 bytes per topic id.
 func (s SubsSummary) WireSize() int { return 2 + 8*len(s) }

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vitis/internal/core"
+	"vitis/internal/simnet"
+	"vitis/internal/store"
+	"vitis/internal/tablefmt"
+	"vitis/internal/telemetry"
+	"vitis/internal/workload"
+)
+
+// Offline-subscriber completeness: the mailserver scenario of the store
+// subsystem (internal/store + core/catchup.go) measured in simulation. A
+// fraction of subscribers leaves the overlay before the publication window,
+// so live dissemination cannot reach them; afterwards they rejoin with empty
+// state and either sit there (baseline) or walk their topics' history on
+// their neighbors' stores (catch-up). Completeness is delivery ratio over
+// the FULL subscriber set — offline nodes count as expected receivers, which
+// is exactly what the static hit-ratio figures do not measure.
+
+// offlineResult aggregates one run of the offline scenario.
+type offlineResult struct {
+	offline       int
+	expectedAll   int
+	deliveredAll  int
+	expectedOff   int
+	deliveredOff  int
+	catchUpEvents uint64
+	servedBytes   uint64
+}
+
+// completeness returns delivered/expected, treating 0/0 as perfect.
+func completeness(delivered, expected int) float64 {
+	if expected == 0 {
+		return 1
+	}
+	return float64(delivered) / float64(expected)
+}
+
+// runOffline executes one offline-subscriber run: build the overlay with a
+// per-node MemStore, take `frac` of the nodes down, publish sc.Events while
+// they are away, bring them back, and (optionally) let catch-up backfill
+// them. Deterministic for a fixed (sc, subs, frac, catchUp) tuple.
+func runOffline(sc Scale, subs *workload.Subscriptions, frac float64, catchUp bool) (*offlineResult, error) {
+	n := subs.Nodes
+	if n < 8 {
+		return nil, fmt.Errorf("experiments: offline run needs >= 8 nodes, got %d", n)
+	}
+	if frac <= 0 || frac >= 1 {
+		return nil, fmt.Errorf("experiments: offline fraction %v outside (0,1)", frac)
+	}
+	eng := simnet.NewEngine(sc.Seed + 11)
+	net := simnet.NewNetwork(eng, simnet.UniformLatency{Min: 10, Max: 80})
+	rng := rand.New(rand.NewSource(sc.Seed + 13))
+	// One shared bundle: the engine is single-threaded and only the counter
+	// totals are read, so every node can feed the same instruments.
+	met := telemetry.NewNodeMetrics(telemetry.NewRegistry())
+
+	tids := topicIDs(subs.Topics)
+	nids := nodeIDs(n)
+	subsOf := subs.SubscribersOf()
+	params := core.Params{NetworkSizeEstimate: n}
+
+	delivered := make(map[core.EventID]map[core.NodeID]bool)
+	onDeliver := func(node core.NodeID, _ core.TopicID, ev core.EventID, _ int) {
+		if delivered[ev] == nil {
+			delivered[ev] = make(map[core.NodeID]bool)
+		}
+		delivered[ev][node] = true
+	}
+
+	spawn := func(i int) *core.Node {
+		nd := core.NewNode(net, nids[i], params, core.Hooks{
+			OnDeliver: onDeliver,
+			Store:     store.NewMem(0, nil),
+			Metrics:   met,
+		})
+		for _, ti := range subs.Subs[i] {
+			nd.Subscribe(tids[ti])
+		}
+		return nd
+	}
+
+	nodes := make([]*core.Node, n)
+	for i := range nodes {
+		nodes[i] = spawn(i)
+	}
+	for i, nd := range nodes {
+		nd.Join([]core.NodeID{nids[(i+1)%n], nids[(i+2)%n], nids[(i+3)%n]})
+	}
+	eng.RunUntil(35 * simnet.Second)
+
+	// Take a random fraction offline and let the overlay heal around the
+	// holes before publishing.
+	offlineIdx := rng.Perm(n)[:int(frac*float64(n)+0.5)]
+	offlineSet := make(map[int]bool, len(offlineIdx))
+	for _, i := range offlineIdx {
+		offlineSet[i] = true
+		nodes[i].Leave()
+	}
+	eng.RunUntil(eng.Now() + 15*simnet.Second)
+
+	// Publication window: one event every 500ms on a random topic that still
+	// has an online subscriber to publish it. Every subscriber of the topic
+	// — offline ones included — is an expected receiver.
+	type pub struct {
+		ev       core.EventID
+		expected []int
+	}
+	var pubs []pub
+	for e := 0; e < sc.Events; e++ {
+		eng.RunUntil(eng.Now() + 500*simnet.Millisecond)
+		for attempt := 0; attempt < 16; attempt++ {
+			ti := rng.Intn(subs.Topics)
+			var online []int
+			for _, si := range subsOf[ti] {
+				if !offlineSet[si] {
+					online = append(online, si)
+				}
+			}
+			if len(online) == 0 {
+				continue
+			}
+			from := online[rng.Intn(len(online))]
+			ev := nodes[from].Publish(tids[ti])
+			pubs = append(pubs, pub{ev: ev, expected: subsOf[ti]})
+			break
+		}
+	}
+	eng.RunUntil(eng.Now() + 20*simnet.Second)
+
+	// The offline cohort returns with fresh state and empty stores. Each
+	// node bootstraps from three online survivors; the catch-up variant then
+	// walks every subscribed topic's history.
+	var online []int
+	for i := range nodes {
+		if !offlineSet[i] {
+			online = append(online, i)
+		}
+	}
+	for _, i := range offlineIdx {
+		fresh := spawn(i)
+		boot := make([]core.NodeID, 0, 3)
+		for _, k := range rng.Perm(len(online))[:3] {
+			boot = append(boot, nids[online[k]])
+		}
+		fresh.Join(boot)
+		if catchUp {
+			fresh.StartCatchUp()
+		}
+		nodes[i] = fresh
+	}
+
+	// Drain: catch-up retires per topic (history exhausted, empty quorum, or
+	// the attempt cap), so pending hits zero in bounded time; the baseline
+	// gets the same wall-clock so both variants see identical healing.
+	for round := 0; round < 60; round++ {
+		eng.RunUntil(eng.Now() + 5*simnet.Second)
+		if !catchUp && round >= 5 {
+			break
+		}
+		pending := 0
+		for _, i := range offlineIdx {
+			pending += nodes[i].CatchUpPending()
+		}
+		if catchUp && pending == 0 && round >= 5 {
+			break
+		}
+	}
+
+	res := &offlineResult{
+		offline:       len(offlineIdx),
+		catchUpEvents: met.CatchUpDelivered.Value(),
+		servedBytes:   met.CatchUpServedBytes.Value(),
+	}
+	for _, p := range pubs {
+		for _, si := range p.expected {
+			res.expectedAll++
+			got := delivered[p.ev][nids[si]]
+			if got {
+				res.deliveredAll++
+			}
+			if offlineSet[si] {
+				res.expectedOff++
+				if got {
+					res.deliveredOff++
+				}
+			}
+		}
+	}
+	addRunTotals(eng.EventsExecuted(), net.BytesSent())
+	return res, nil
+}
+
+// OfflineCatchUp sweeps the offline fraction with catch-up off and on. The
+// baseline rows show what live dissemination alone leaves on the floor
+// (completeness over all subscribers ≈ 1 - offline fraction); the catch-up
+// rows should restore completeness to ~100% with the backfill bytes visible
+// in the served column.
+func OfflineCatchUp(sc Scale) (*tablefmt.Table, error) {
+	subs, err := sc.subscriptions(workload.LowCorrelation)
+	if err != nil {
+		return nil, err
+	}
+	tab := &tablefmt.Table{
+		Title:   "Store — delivery completeness for offline subscribers (Vitis + event store)",
+		Columns: []string{"offline", "catch-up", "completeness(all)", "completeness(offline)", "catchup-events", "served(KiB)"},
+	}
+	fracs := []float64{0.1, 0.2, 0.3}
+	for _, frac := range fracs {
+		for _, cu := range []bool{false, true} {
+			start := time.Now()
+			res, err := runOffline(sc, subs, frac, cu)
+			if err != nil {
+				return nil, err
+			}
+			if sc.Progress != nil {
+				sc.Progress(fmt.Sprintf("offline f=%.2f catchup=%v", frac, cu), time.Since(start))
+			}
+			mode := "off"
+			if cu {
+				mode = "on"
+			}
+			tab.AddRow(tablefmt.Pct(frac), mode,
+				tablefmt.Pct(completeness(res.deliveredAll, res.expectedAll)),
+				tablefmt.Pct(completeness(res.deliveredOff, res.expectedOff)),
+				fmt.Sprint(res.catchUpEvents),
+				tablefmt.F(float64(res.servedBytes)/1024, 1))
+		}
+	}
+	tab.AddNote("offline nodes count as expected receivers; without catch-up their share of deliveries is simply lost")
+	tab.AddNote("catch-up pages are bounded by Params.CatchUpPageBytes per topic per heartbeat, so backfill cannot starve live traffic")
+	return tab, nil
+}

@@ -1,0 +1,606 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+	"vitis/internal/telemetry"
+)
+
+// DiskStore layout: a directory of segment files events-%08d.seg, each an
+// 8-byte header followed by record frames (record.go). Appends go to the
+// newest ("active") segment; when the next frame would push it past
+// SegmentBytes the segment is synced, closed, and a new one opened.
+// Retention drops whole closed segments, oldest first, to honor byte and
+// age caps. A sparse in-memory index (every indexEvery-th record per topic)
+// maps store sequences to (segment, offset) so ReadRange seeks near its
+// cursor instead of scanning the whole log.
+//
+// Crash recovery: Open scans every segment front to back. A decode error in
+// the newest segment is a torn tail from an interrupted write — the good
+// prefix is kept and the file truncated at the last whole record (counted
+// by vitis_store_torn_truncations_total). A decode error anywhere else is
+// real corruption and fails the open.
+
+const (
+	segHeaderLen = 8
+	segVersion   = 1
+
+	defaultSegmentBytes = 4 << 20
+	defaultFsyncEvery   = 64
+	indexEvery          = 32
+)
+
+var segMagic = [4]byte{'V', 'S', 'E', 'G'}
+
+// DiskConfig tunes a DiskStore. The zero value is usable: 4 MiB segments,
+// no retention caps, fsync every 64 appends.
+type DiskConfig struct {
+	// SegmentBytes rotates the active segment when it would grow past this
+	// size (default 4 MiB).
+	SegmentBytes int
+	// RetainBytes caps total retained record-frame bytes; oldest closed
+	// segments are dropped to stay under it. 0 means unlimited.
+	RetainBytes int64
+	// RetainAge drops closed segments whose newest record is older than
+	// this. 0 means unlimited.
+	RetainAge time.Duration
+	// FsyncEvery batches fsync: the active segment is synced after this
+	// many appends (and always at rotation, Flush, and Close). 1 syncs
+	// every append; default 64.
+	FsyncEvery int
+	// Metrics may be nil.
+	Metrics *telemetry.StoreMetrics
+	// Now overrides the record timestamp source (tests). Nil uses
+	// time.Now.
+	Now func() time.Time
+}
+
+// ErrClosed is returned by operations on a closed DiskStore.
+var ErrClosed = errors.New("store: closed")
+
+// diskTopic is the in-memory state of one topic's on-disk history.
+type diskTopic struct {
+	firstSeq uint64 // oldest retained store seq (0 when no records retained)
+	lastSeq  uint64 // newest store seq ever assigned
+	records  int
+	bytes    int // sum of WireCost over retained records
+	oldestMs int64
+	last     map[simnet.NodeID]uint64
+	index    []idxEntry
+}
+
+type idxEntry struct {
+	seq uint64
+	seg int // segment index (file number)
+	off int64
+}
+
+// segTopic is one topic's footprint inside one segment, kept so retention
+// can adjust topic stats when the segment is dropped.
+type segTopic struct {
+	records  int
+	bytes    int
+	maxSeq   uint64
+	oldestMs int64
+}
+
+// segment is one log file.
+type segment struct {
+	idx      int
+	path     string
+	size     int64 // file size including header
+	frames   int64 // record-frame bytes (size - header)
+	newestMs int64
+	topics   map[idspace.ID]*segTopic
+}
+
+// DiskStore is the on-disk EventStore. Safe for concurrent use.
+type DiskStore struct {
+	mu        sync.Mutex
+	dir       string
+	cfg       DiskConfig
+	met       *telemetry.StoreMetrics
+	nowMs     func() int64
+	segments  []*segment // oldest first; last is active
+	active    *os.File
+	topics    map[idspace.ID]*diskTopic
+	buf       []byte // append scratch
+	sinceSync int
+	closed    bool
+}
+
+// OpenDisk opens (creating if needed) the segmented log in dir, running
+// crash recovery over existing segments.
+func OpenDisk(dir string, cfg DiskConfig) (*DiskStore, error) {
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = defaultSegmentBytes
+	}
+	if cfg.FsyncEvery <= 0 {
+		cfg.FsyncEvery = defaultFsyncEvery
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = telemetry.NewStoreMetrics(nil)
+	}
+	nowFn := cfg.Now
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &DiskStore{
+		dir:    dir,
+		cfg:    cfg,
+		met:    met,
+		nowMs:  func() int64 { return nowFn().UnixMilli() },
+		topics: make(map[idspace.ID]*diskTopic),
+	}
+	if err := d.load(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// load scans existing segments, recovers a torn tail, and opens the active
+// segment for appending.
+func (d *DiskStore) load() error {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return err
+	}
+	var idxs []int
+	for _, e := range entries {
+		var idx int
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".seg") {
+			if _, err := fmt.Sscanf(e.Name(), "events-%08d.seg", &idx); err == nil {
+				idxs = append(idxs, idx)
+			}
+		}
+	}
+	sort.Ints(idxs)
+	for i, idx := range idxs {
+		last := i == len(idxs)-1
+		seg, err := d.loadSegment(idx, last)
+		if err != nil {
+			return err
+		}
+		d.segments = append(d.segments, seg)
+	}
+	if len(d.segments) == 0 {
+		if err := d.newSegment(0); err != nil {
+			return err
+		}
+	} else {
+		tail := d.segments[len(d.segments)-1]
+		if tail.size >= int64(d.cfg.SegmentBytes) {
+			if err := d.newSegment(tail.idx + 1); err != nil {
+				return err
+			}
+		} else {
+			f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			d.active = f
+		}
+	}
+	d.applyRetention()
+	d.setGauges()
+	return nil
+}
+
+// loadSegment reads and verifies one segment file, truncating a torn tail
+// when it is the newest segment.
+func (d *DiskStore) loadSegment(idx int, last bool) (*segment, error) {
+	path := d.segPath(idx)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < segHeaderLen || [4]byte(b[0:4]) != segMagic || binary.BigEndian.Uint16(b[4:6]) != segVersion {
+		if !last || len(b) >= segHeaderLen {
+			return nil, fmt.Errorf("store: %s: bad segment header", path)
+		}
+		// A crash between create and header write leaves a short file;
+		// rewrite it as an empty segment.
+		d.met.TornTruncations.Add(1)
+		d.met.TruncatedBytes.Add(uint64(len(b)))
+		if err := writeSegHeader(path); err != nil {
+			return nil, err
+		}
+		return &segment{idx: idx, path: path, size: segHeaderLen, topics: make(map[idspace.ID]*segTopic)}, nil
+	}
+	recs, consumed, scanErr := scanSegment(b[segHeaderLen:])
+	if scanErr != nil {
+		if !last {
+			return nil, fmt.Errorf("store: %s: corrupt record at offset %d: %w", path, segHeaderLen+consumed, scanErr)
+		}
+		torn := int64(len(b)) - int64(segHeaderLen+consumed)
+		if err := os.Truncate(path, int64(segHeaderLen+consumed)); err != nil {
+			return nil, err
+		}
+		d.met.TornTruncations.Add(1)
+		d.met.TruncatedBytes.Add(uint64(torn))
+	}
+	seg := &segment{
+		idx:    idx,
+		path:   path,
+		size:   int64(segHeaderLen + consumed),
+		frames: int64(consumed),
+		topics: make(map[idspace.ID]*segTopic),
+	}
+	for _, sr := range recs {
+		d.account(seg, sr.rec, sr.seq, sr.unixMs, int64(sr.off))
+	}
+	return seg, nil
+}
+
+func (d *DiskStore) segPath(idx int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("events-%08d.seg", idx))
+}
+
+func writeSegHeader(path string) error {
+	var hdr [segHeaderLen]byte
+	copy(hdr[0:4], segMagic[:])
+	binary.BigEndian.PutUint16(hdr[4:6], segVersion)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// newSegment creates segment idx and makes it active.
+func (d *DiskStore) newSegment(idx int) error {
+	path := d.segPath(idx)
+	if err := writeSegHeader(path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	d.segments = append(d.segments, &segment{
+		idx: idx, path: path, size: segHeaderLen,
+		topics: make(map[idspace.ID]*segTopic),
+	})
+	d.active = f
+	d.met.SegmentsCreated.Add(1)
+	return nil
+}
+
+// account folds one record at (seg, off) into topic and segment state.
+// Used both at load and after a live append.
+func (d *DiskStore) account(seg *segment, rec Record, seq uint64, unixMs int64, off int64) {
+	t := d.topics[rec.Topic]
+	if t == nil {
+		t = &diskTopic{last: make(map[simnet.NodeID]uint64)}
+		d.topics[rec.Topic] = t
+	}
+	if t.records == 0 {
+		t.firstSeq = seq
+		t.oldestMs = unixMs
+	}
+	if seq > t.lastSeq {
+		t.lastSeq = seq
+	}
+	if t.records%indexEvery == 0 {
+		t.index = append(t.index, idxEntry{seq: seq, seg: seg.idx, off: off})
+	}
+	cost := rec.WireCost()
+	t.records++
+	t.bytes += cost
+	if prev, ok := t.last[rec.Publisher]; !ok || rec.Seq > prev {
+		t.last[rec.Publisher] = rec.Seq
+	}
+	st := seg.topics[rec.Topic]
+	if st == nil {
+		st = &segTopic{oldestMs: unixMs}
+		seg.topics[rec.Topic] = st
+	}
+	st.records++
+	st.bytes += cost
+	if seq > st.maxSeq {
+		st.maxSeq = seq
+	}
+	if unixMs > seg.newestMs {
+		seg.newestMs = unixMs
+	}
+}
+
+// Append implements EventStore.
+func (d *DiskStore) Append(rec Record) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	t := d.topics[rec.Topic]
+	seq := uint64(1)
+	if t != nil {
+		seq = t.lastSeq + 1
+	}
+	now := d.nowMs()
+	d.buf = appendRecord(d.buf[:0], rec, seq, now)
+	frame := int64(len(d.buf))
+	seg := d.segments[len(d.segments)-1]
+	if seg.size > segHeaderLen && seg.size+frame > int64(d.cfg.SegmentBytes) {
+		if err := d.rotate(); err != nil {
+			d.met.AppendErrors.Add(1)
+			return 0, err
+		}
+		seg = d.segments[len(d.segments)-1]
+	}
+	off := seg.size - segHeaderLen // frame offset within the segment body
+	if _, err := d.active.Write(d.buf); err != nil {
+		d.met.AppendErrors.Add(1)
+		return 0, err
+	}
+	seg.size += frame
+	seg.frames += frame
+	d.account(seg, rec, seq, now, off)
+	d.met.Appends.Add(1)
+	d.met.AppendedBytes.Add(uint64(frame))
+	d.met.Records.Add(1)
+	d.met.Bytes.Add(int64(rec.WireCost()))
+	d.met.Topics.Set(int64(len(d.topics)))
+	d.sinceSync++
+	if d.sinceSync >= d.cfg.FsyncEvery {
+		if err := d.sync(); err != nil {
+			d.met.AppendErrors.Add(1)
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// rotate syncs and closes the active segment, opens the next one, and
+// applies retention over the now-closed segments.
+func (d *DiskStore) rotate() error {
+	if err := d.sync(); err != nil {
+		return err
+	}
+	if err := d.active.Close(); err != nil {
+		return err
+	}
+	if err := d.newSegment(d.segments[len(d.segments)-1].idx + 1); err != nil {
+		return err
+	}
+	d.applyRetention()
+	d.setGauges()
+	return nil
+}
+
+func (d *DiskStore) sync() error {
+	if d.sinceSync == 0 {
+		return nil
+	}
+	if err := d.active.Sync(); err != nil {
+		return err
+	}
+	d.met.Fsyncs.Add(1)
+	d.sinceSync = 0
+	return nil
+}
+
+// applyRetention drops whole closed segments, oldest first, while the
+// byte or age caps are exceeded. The active segment is never dropped.
+func (d *DiskStore) applyRetention() {
+	cutoffMs := int64(0)
+	if d.cfg.RetainAge > 0 {
+		cutoffMs = d.nowMs() - d.cfg.RetainAge.Milliseconds()
+	}
+	for len(d.segments) > 1 {
+		oldest := d.segments[0]
+		over := d.cfg.RetainBytes > 0 && d.totalFrames() > d.cfg.RetainBytes
+		aged := cutoffMs > 0 && oldest.newestMs > 0 && oldest.newestMs < cutoffMs
+		if !over && !aged {
+			return
+		}
+		d.dropSegment(oldest)
+		d.segments = d.segments[1:]
+	}
+}
+
+func (d *DiskStore) totalFrames() int64 {
+	var n int64
+	for _, s := range d.segments {
+		n += s.frames
+	}
+	return n
+}
+
+// dropSegment removes a closed segment's file and subtracts its footprint
+// from topic state.
+func (d *DiskStore) dropSegment(seg *segment) {
+	os.Remove(seg.path)
+	for topic, st := range seg.topics {
+		t := d.topics[topic]
+		if t == nil {
+			continue
+		}
+		t.records -= st.records
+		t.bytes -= st.bytes
+		if t.firstSeq <= st.maxSeq {
+			t.firstSeq = st.maxSeq + 1
+		}
+		// Drop index entries that pointed into the removed segment and
+		// refresh the oldest timestamp from the remaining segments.
+		keep := t.index[:0]
+		for _, e := range t.index {
+			if e.seg != seg.idx {
+				keep = append(keep, e)
+			}
+		}
+		t.index = keep
+		t.oldestMs = 0
+		for _, s := range d.segments {
+			if s == seg {
+				continue
+			}
+			if rem, ok := s.topics[topic]; ok && rem.records > 0 {
+				t.oldestMs = rem.oldestMs
+				break
+			}
+		}
+		d.met.RetentionDropped.Add(uint64(st.records))
+		d.met.Records.Add(-int64(st.records))
+		d.met.Bytes.Add(-int64(st.bytes))
+	}
+	d.met.SegmentsDropped.Add(1)
+}
+
+func (d *DiskStore) setGauges() {
+	d.met.Segments.Set(int64(len(d.segments)))
+	d.met.Topics.Set(int64(len(d.topics)))
+}
+
+// ReadRange implements EventStore.
+func (d *DiskStore) ReadRange(topic idspace.ID, after uint64, maxBytes int) (Page, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return Page{}, ErrClosed
+	}
+	t := d.topics[topic]
+	if t == nil || t.lastSeq <= after || t.records == 0 {
+		return Page{Next: after}, nil
+	}
+	start := after + 1
+	if start < t.firstSeq {
+		start = t.firstSeq
+	}
+	if start > t.lastSeq {
+		return Page{Next: after}, nil
+	}
+	// Seek to the sparse index entry at or before start, else the oldest
+	// retained segment.
+	segFrom, offFrom := d.segments[0].idx, int64(0)
+	if i := sort.Search(len(t.index), func(i int) bool { return t.index[i].seq > start }); i > 0 {
+		e := t.index[i-1]
+		segFrom, offFrom = e.seg, e.off
+	}
+	page := Page{Next: after}
+	budget := maxBytes
+	for _, seg := range d.segments {
+		if seg.idx < segFrom {
+			continue
+		}
+		if _, ok := seg.topics[topic]; !ok && seg.idx != segFrom {
+			continue
+		}
+		b, err := os.ReadFile(seg.path)
+		if err != nil {
+			return Page{}, err
+		}
+		body := b[segHeaderLen:]
+		off := int64(0)
+		if seg.idx == segFrom {
+			off = offFrom
+		}
+		for off < int64(len(body)) {
+			rec, seq, _, n, derr := decodeRecord(body[off:])
+			if derr != nil {
+				// The active segment's tail can hold a frame mid-write
+				// by a concurrent Append; everything before it decoded.
+				break
+			}
+			off += int64(n)
+			if rec.Topic != topic || seq <= after {
+				continue
+			}
+			cost := rec.WireCost()
+			if len(page.Records) > 0 && cost > budget {
+				page.More = true
+				return page, nil
+			}
+			page.Records = append(page.Records, rec)
+			page.Next = seq
+			budget -= cost
+		}
+	}
+	return page, nil
+}
+
+// LastSeq implements EventStore.
+func (d *DiskStore) LastSeq(topic idspace.ID, pub simnet.NodeID) (uint64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t := d.topics[topic]; t != nil {
+		seq, ok := t.last[pub]
+		return seq, ok
+	}
+	return 0, false
+}
+
+// TopicStats implements EventStore.
+func (d *DiskStore) TopicStats(topic idspace.ID) TopicStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.topics[topic]
+	if t == nil {
+		return TopicStats{}
+	}
+	st := TopicStats{Records: t.records, Bytes: t.bytes, LastSeq: t.lastSeq}
+	if t.records > 0 {
+		st.FirstSeq = t.firstSeq
+		st.OldestMs = t.oldestMs
+	}
+	return st
+}
+
+// Stats implements EventStore.
+func (d *DiskStore) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := Stats{Segments: len(d.segments), Topics: len(d.topics)}
+	for _, t := range d.topics {
+		st.Records += t.records
+		st.Bytes += t.bytes
+	}
+	return st
+}
+
+// Flush implements EventStore: fsync any unsynced appends.
+func (d *DiskStore) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.sync()
+}
+
+// Close implements EventStore: flush and release the active segment.
+func (d *DiskStore) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if err := d.sync(); err != nil {
+		d.active.Close()
+		return err
+	}
+	return d.active.Close()
+}

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+)
+
+// On-disk record framing. Every record is length-prefixed and CRC-framed in
+// the same discipline as the wire codec (internal/wire), so a reader can
+// always tell a torn tail from good data:
+//
+//	offset  size  field
+//	0       4     body length (big endian)
+//	4       4     CRC-32 (IEEE) of the body
+//	8       ...   body
+//
+// and the body is:
+//
+//	u64 topic id
+//	u64 publisher node id
+//	u64 publisher event sequence (core.EventID.Seq)
+//	u64 store-assigned per-topic sequence (the ReadRange cursor)
+//	u64 append wall-clock time, unix milliseconds (drives age retention)
+//	u32 overlay hops at record time
+//	u8  flags (bit 0: the event announced a pullable payload)
+//	u32 payload length + payload bytes
+//
+// The encoding is canonical: decodeRecord accepts exactly what appendRecord
+// emits, and re-encoding a decoded record reproduces the input bytes —
+// FuzzSegmentDecode holds the scanner to that fixed point.
+
+const (
+	// recHeaderLen is the length+CRC prefix of every record.
+	recHeaderLen = 8
+	// recFixedBody is the body size before the variable payload.
+	recFixedBody = 8 + 8 + 8 + 8 + 8 + 4 + 1 + 4
+	// maxRecordBody bounds a single record body; payloads are bounded by the
+	// wire codec's MaxBody upstream, so anything larger marks corruption.
+	maxRecordBody = 1 << 20
+
+	flagHasData = 1 << 0
+)
+
+// Record-scan failure modes.
+var (
+	errRecordTruncated = errors.New("store: truncated record")
+	errRecordLength    = errors.New("store: implausible record length")
+	errRecordChecksum  = errors.New("store: record checksum mismatch")
+	errRecordFlags     = errors.New("store: unknown record flags")
+)
+
+// appendRecord appends rec's complete frame to dst and returns the extended
+// slice, exactly like append (allocation-free given capacity, mirroring
+// wire.AppendEncode).
+func appendRecord(dst []byte, rec Record, seq uint64, unixMs int64) []byte {
+	body := recFixedBody + len(rec.Payload)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, 0, 0, 0, 0) // CRC backfilled below
+	base := len(dst)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(rec.Topic))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(rec.Publisher))
+	dst = binary.BigEndian.AppendUint64(dst, rec.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(unixMs))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(rec.Hops)))
+	var flags byte
+	if rec.HasData {
+		flags |= flagHasData
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(rec.Payload)))
+	dst = append(dst, rec.Payload...)
+	binary.BigEndian.PutUint32(dst[base-4:base], crc32.ChecksumIEEE(dst[base:]))
+	return dst
+}
+
+// decodeRecord parses one record frame from the front of b. It returns the
+// record, its store sequence and timestamp, and the number of bytes
+// consumed. Errors never consume bytes, never panic, and are strict: only
+// canonical frames are accepted.
+func decodeRecord(b []byte) (rec Record, seq uint64, unixMs int64, n int, err error) {
+	if len(b) < recHeaderLen {
+		return Record{}, 0, 0, 0, errRecordTruncated
+	}
+	bodyLen := int(binary.BigEndian.Uint32(b[0:4]))
+	if bodyLen < recFixedBody || bodyLen > maxRecordBody {
+		return Record{}, 0, 0, 0, errRecordLength
+	}
+	if len(b)-recHeaderLen < bodyLen {
+		return Record{}, 0, 0, 0, errRecordTruncated
+	}
+	body := b[recHeaderLen : recHeaderLen+bodyLen]
+	if binary.BigEndian.Uint32(b[4:8]) != crc32.ChecksumIEEE(body) {
+		return Record{}, 0, 0, 0, errRecordChecksum
+	}
+	rec.Topic = idspace.ID(binary.BigEndian.Uint64(body[0:8]))
+	rec.Publisher = simnet.NodeID(binary.BigEndian.Uint64(body[8:16]))
+	rec.Seq = binary.BigEndian.Uint64(body[16:24])
+	seq = binary.BigEndian.Uint64(body[24:32])
+	unixMs = int64(binary.BigEndian.Uint64(body[32:40]))
+	rec.Hops = int(int32(binary.BigEndian.Uint32(body[40:44])))
+	flags := body[44]
+	if flags&^byte(flagHasData) != 0 {
+		return Record{}, 0, 0, 0, errRecordFlags
+	}
+	rec.HasData = flags&flagHasData != 0
+	plen := int(binary.BigEndian.Uint32(body[45:49]))
+	if plen != bodyLen-recFixedBody {
+		return Record{}, 0, 0, 0, errRecordLength
+	}
+	if plen > 0 {
+		rec.Payload = append([]byte(nil), body[recFixedBody:]...)
+	}
+	return rec, seq, unixMs, recHeaderLen + bodyLen, nil
+}
+
+// scannedRecord is one record located by scanSegment, with its position
+// inside the segment body.
+type scannedRecord struct {
+	rec    Record
+	seq    uint64
+	unixMs int64
+	off    int // offset of the frame within the scanned bytes
+	size   int // frame size including the length+CRC prefix
+}
+
+// scanSegment walks the record frames of a segment body front to back. It
+// returns the records decoded before the first error, the number of bytes
+// they cover, and the error that stopped the scan (nil when the body was
+// consumed exactly). A non-nil error with consumed == len(good prefix) is
+// how crash recovery finds the torn tail.
+func scanSegment(b []byte) (recs []scannedRecord, consumed int, err error) {
+	off := 0
+	for off < len(b) {
+		rec, seq, ts, n, derr := decodeRecord(b[off:])
+		if derr != nil {
+			return recs, off, derr
+		}
+		recs = append(recs, scannedRecord{rec: rec, seq: seq, unixMs: ts, off: off, size: n})
+		off += n
+	}
+	return recs, off, nil
+}

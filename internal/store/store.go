@@ -1,0 +1,260 @@
+// Package store persists published events so rendezvous and relay nodes can
+// serve history to subscribers that were offline when the events were
+// disseminated — the durable generalization of core's in-memory replay
+// rings (ReplayDepth). An EventStore assigns each appended record a dense
+// per-topic sequence number starting at 1; catch-up clients walk a topic
+// with that cursor ("everything after seq N") in bounded pages.
+//
+// Two implementations ship: MemStore, a bounded in-memory log for
+// simulations and tests, and DiskStore, a zero-dependency append-only
+// segmented log with CRC-framed records, size-based rotation, a sparse
+// per-topic index, byte/age retention, batched fsync, and a crash-recovery
+// open that truncates a torn tail.
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"vitis/internal/idspace"
+	"vitis/internal/simnet"
+	"vitis/internal/telemetry"
+)
+
+// Record is one stored event. Topic/Publisher/Seq identify the event
+// exactly as core.EventID does; Hops is the overlay hop count observed when
+// the record was appended (restored on catch-up delivery so hop histograms
+// stay meaningful); HasData marks events whose payload is pullable;
+// Payload carries the payload bytes when they were known at append time.
+type Record struct {
+	Topic     idspace.ID
+	Publisher simnet.NodeID
+	Seq       uint64 // publisher-assigned event sequence (core.EventID.Seq)
+	Hops      int
+	HasData   bool
+	Payload   []byte
+}
+
+// WireCost is the bytes this record occupies inside a catch-up response —
+// the unit ReadRange's maxBytes budget is measured in. Must match
+// core.CatchUpResp's per-event encoding cost.
+func (r Record) WireCost() int { return 25 + len(r.Payload) }
+
+// Page is one bounded slice of a topic's history.
+type Page struct {
+	// Records in append order. Non-empty whenever the topic has records
+	// past the requested cursor — a single record is always returned even
+	// if it alone exceeds the byte budget, so readers can't starve.
+	Records []Record
+	// Next is the cursor to pass to the following ReadRange call: the
+	// store sequence of the last record returned (or the request's cursor
+	// when nothing was returned).
+	Next uint64
+	// More reports whether records past Next were retained at read time.
+	More bool
+}
+
+// TopicStats describes the retained history of one topic.
+type TopicStats struct {
+	Records  int
+	Bytes    int    // sum of WireCost over retained records
+	OldestMs int64  // append time of the oldest retained record (0 if none)
+	FirstSeq uint64 // store seq of the oldest retained record (0 if none)
+	LastSeq  uint64 // store seq of the newest record ever appended
+}
+
+// Stats describes a whole store.
+type Stats struct {
+	Records  int
+	Bytes    int
+	Topics   int
+	Segments int // disk store only; 0 for MemStore
+}
+
+// EventStore is the durable (or at least out-of-band) event history an
+// overlay node keeps so it can serve catch-up to peers and survive its own
+// restarts. Implementations are safe for concurrent use: the overlay driver
+// appends and reads while HTTP handlers poll Stats.
+type EventStore interface {
+	// Append stores rec and returns its store-assigned per-topic sequence.
+	Append(rec Record) (uint64, error)
+	// ReadRange returns retained records of topic with store sequence >
+	// after, in append order, stopping once adding another record would
+	// exceed maxBytes (WireCost units). At least one record is returned
+	// when any exist past the cursor, regardless of budget.
+	ReadRange(topic idspace.ID, after uint64, maxBytes int) (Page, error)
+	// LastSeq reports the newest publisher event sequence stored for
+	// (topic, publisher), for advisory dedup across restarts.
+	LastSeq(topic idspace.ID, pub simnet.NodeID) (uint64, bool)
+	// TopicStats describes one topic's retained history.
+	TopicStats(topic idspace.ID) TopicStats
+	// Stats describes the whole store.
+	Stats() Stats
+	// Flush forces buffered appends to stable storage (no-op for MemStore).
+	Flush() error
+	// Close flushes and releases the store. The store is unusable after.
+	Close() error
+}
+
+// memTopic is one topic's retained window inside a MemStore.
+type memTopic struct {
+	firstSeq uint64 // store seq of recs[0]
+	lastSeq  uint64 // newest store seq ever assigned
+	recs     []memRecord
+	bytes    int
+	last     map[simnet.NodeID]uint64 // newest publisher seq per publisher
+}
+
+type memRecord struct {
+	rec    Record
+	unixMs int64
+}
+
+// MemStore is the in-memory EventStore: per-topic append logs bounded to
+// maxPerTopic records (oldest dropped first), generalizing core's replay
+// rings with a stable cursor. Zero retention cost, no durability.
+type MemStore struct {
+	mu          sync.Mutex
+	maxPerTopic int
+	topics      map[idspace.ID]*memTopic
+	met         *telemetry.StoreMetrics
+	now         func() int64 // unix ms; test seam
+}
+
+// NewMem builds a MemStore retaining at most maxPerTopic records per topic
+// (0 or negative means unbounded). met may be nil.
+func NewMem(maxPerTopic int, met *telemetry.StoreMetrics) *MemStore {
+	if met == nil {
+		met = telemetry.NewStoreMetrics(nil)
+	}
+	return &MemStore{
+		maxPerTopic: maxPerTopic,
+		topics:      make(map[idspace.ID]*memTopic),
+		met:         met,
+		now:         func() int64 { return 0 },
+	}
+}
+
+// Append implements EventStore.
+func (s *MemStore) Append(rec Record) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.topics[rec.Topic]
+	if t == nil {
+		t = &memTopic{firstSeq: 1, last: make(map[simnet.NodeID]uint64)}
+		s.topics[rec.Topic] = t
+		s.met.Topics.Add(1)
+	}
+	t.lastSeq++
+	t.recs = append(t.recs, memRecord{rec: rec, unixMs: s.now()})
+	cost := rec.WireCost()
+	t.bytes += cost
+	if prev, ok := t.last[rec.Publisher]; !ok || rec.Seq > prev {
+		t.last[rec.Publisher] = rec.Seq
+	}
+	s.met.Appends.Add(1)
+	s.met.AppendedBytes.Add(uint64(cost))
+	s.met.Records.Add(1)
+	s.met.Bytes.Add(int64(cost))
+	if s.maxPerTopic > 0 {
+		for len(t.recs) > s.maxPerTopic {
+			drop := t.recs[0]
+			t.recs = t.recs[1:]
+			t.firstSeq++
+			t.bytes -= drop.rec.WireCost()
+			s.met.RetentionDropped.Add(1)
+			s.met.Records.Add(-1)
+			s.met.Bytes.Add(-int64(drop.rec.WireCost()))
+		}
+	}
+	return t.lastSeq, nil
+}
+
+// ReadRange implements EventStore.
+func (s *MemStore) ReadRange(topic idspace.ID, after uint64, maxBytes int) (Page, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.topics[topic]
+	if t == nil || t.lastSeq <= after {
+		return Page{Next: after}, nil
+	}
+	start := after + 1
+	if start < t.firstSeq {
+		start = t.firstSeq // records before firstSeq were dropped by retention
+	}
+	if start > t.lastSeq {
+		return Page{Next: after}, nil
+	}
+	i := int(start - t.firstSeq)
+	page := Page{Next: after}
+	budget := maxBytes
+	for ; i < len(t.recs); i++ {
+		cost := t.recs[i].rec.WireCost()
+		if len(page.Records) > 0 && cost > budget {
+			page.More = true
+			break
+		}
+		page.Records = append(page.Records, t.recs[i].rec)
+		page.Next = t.firstSeq + uint64(i)
+		budget -= cost
+	}
+	return page, nil
+}
+
+// LastSeq implements EventStore.
+func (s *MemStore) LastSeq(topic idspace.ID, pub simnet.NodeID) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.topics[topic]; t != nil {
+		seq, ok := t.last[pub]
+		return seq, ok
+	}
+	return 0, false
+}
+
+// TopicStats implements EventStore.
+func (s *MemStore) TopicStats(topic idspace.ID) TopicStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.topics[topic]
+	if t == nil {
+		return TopicStats{}
+	}
+	st := TopicStats{Records: len(t.recs), Bytes: t.bytes, LastSeq: t.lastSeq}
+	if len(t.recs) > 0 {
+		st.OldestMs = t.recs[0].unixMs
+		st.FirstSeq = t.firstSeq
+	}
+	return st
+}
+
+// Stats implements EventStore.
+func (s *MemStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Topics: len(s.topics)}
+	for _, t := range s.topics {
+		st.Records += len(t.recs)
+		st.Bytes += t.bytes
+	}
+	return st
+}
+
+// Topics returns the topics with retained records, sorted, for tests and
+// stats rendering.
+func (s *MemStore) Topics() []idspace.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]idspace.ID, 0, len(s.topics))
+	for t := range s.topics {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Flush implements EventStore (no-op).
+func (s *MemStore) Flush() error { return nil }
+
+// Close implements EventStore (no-op).
+func (s *MemStore) Close() error { return nil }

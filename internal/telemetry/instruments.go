@@ -55,6 +55,13 @@ type NodeMetrics struct {
 	PullsAbandoned *Counter
 	PayloadBytes   *Counter // payload bytes received through pulls
 	PullBacklog    *Gauge   // entries across payload/pull bookkeeping maps
+	// Store-backed catch-up (offline-subscriber backfill).
+	CatchUpRequests    *Counter // catch-up pages requested from peers
+	CatchUpServed      *Counter // events served from the local store
+	CatchUpServedBytes *Counter // record bytes served from the local store
+	CatchUpDelivered   *Counter // deliveries recovered through catch-up
+	CatchUpAbandoned   *Counter // topics abandoned after exhausting peers
+	CatchUpPending     *Gauge   // topics with an active catch-up state machine
 	// Gossip substrates.
 	Sampler GossipMetrics
 	TMan    GossipMetrics
@@ -99,6 +106,12 @@ func NewNodeMetrics(r *Registry) *NodeMetrics {
 		PullsAbandoned:     r.Counter("vitis_core_pulls_abandoned_total", "Payload pulls abandoned after exhausting retries."),
 		PayloadBytes:       r.Counter("vitis_core_payload_bytes_total", "Payload bytes received through pulls."),
 		PullBacklog:        r.Gauge("vitis_core_pull_backlog", "Entries across payload and pull bookkeeping maps."),
+		CatchUpRequests:    r.Counter("vitis_store_catchup_requests_total", "Catch-up pages requested from peers."),
+		CatchUpServed:      r.Counter("vitis_store_catchup_served_events_total", "Events served from the local store to catching-up peers."),
+		CatchUpServedBytes: r.Counter("vitis_store_catchup_served_bytes_total", "Record bytes served from the local store to catching-up peers."),
+		CatchUpDelivered:   r.Counter("vitis_store_catchup_deliveries_total", "Deliveries recovered through store catch-up."),
+		CatchUpAbandoned:   r.Counter("vitis_store_catchup_abandoned_total", "Catch-up topics abandoned after exhausting peers."),
+		CatchUpPending:     r.Gauge("vitis_store_catchup_topics_pending", "Topics with an active catch-up state machine."),
 		Sampler: GossipMetrics{
 			Rounds:  r.Counter("vitis_sampling_rounds_total", "Peer-sampling gossip rounds initiated."),
 			ViewAge: r.Gauge("vitis_sampling_view_age", "Mean age of the peer-sampling view in rounds."),
@@ -236,6 +249,61 @@ func NewChaosMetrics(r *Registry) *ChaosMetrics {
 		r.CounterFunc("vitis_chaos_stash_evicted_total", "Stashed messages lost to a full stash.", counterFn(m.StashEvicted))
 		r.CounterFunc("vitis_chaos_released_total", "Stashed messages delivered at heal.", counterFn(m.Released))
 		r.GaugeFunc("vitis_chaos_active_partitions", "Currently active named partitions.", gaugeFn(m.Partitions))
+	}
+	return m
+}
+
+// StoreMetrics instruments one event store (internal/store). Always live,
+// like TransportMetrics: the store reads them for Stats and tests read them
+// without a registry; a nil registry merely leaves them unregistered.
+type StoreMetrics struct {
+	Appends          *Counter // records appended
+	AppendedBytes    *Counter // record bytes appended (frame bytes for disk)
+	AppendErrors     *Counter // appends refused by an I/O failure
+	Fsyncs           *Counter // fsync calls on the active segment
+	SegmentsCreated  *Counter // segments opened for writing
+	SegmentsDropped  *Counter // segments removed by retention
+	RetentionDropped *Counter // records dropped by retention (bytes/age caps)
+	TornTruncations  *Counter // torn tails truncated during crash-recovery open
+	TruncatedBytes   *Counter // bytes discarded by torn-tail truncation
+	Records          *Gauge   // records currently retained
+	Bytes            *Gauge   // record bytes currently retained
+	Topics           *Gauge   // topics with at least one retained record
+	Segments         *Gauge   // live segment files (disk store only)
+}
+
+// NewStoreMetrics builds live store instruments, registered under their
+// canonical names when r is non-nil.
+func NewStoreMetrics(r *Registry) *StoreMetrics {
+	m := &StoreMetrics{
+		Appends:          NewCounter(),
+		AppendedBytes:    NewCounter(),
+		AppendErrors:     NewCounter(),
+		Fsyncs:           NewCounter(),
+		SegmentsCreated:  NewCounter(),
+		SegmentsDropped:  NewCounter(),
+		RetentionDropped: NewCounter(),
+		TornTruncations:  NewCounter(),
+		TruncatedBytes:   NewCounter(),
+		Records:          NewGauge(),
+		Bytes:            NewGauge(),
+		Topics:           NewGauge(),
+		Segments:         NewGauge(),
+	}
+	if r != nil {
+		r.CounterFunc("vitis_store_appends_total", "Records appended to the event store.", counterFn(m.Appends))
+		r.CounterFunc("vitis_store_appended_bytes_total", "Record bytes appended to the event store.", counterFn(m.AppendedBytes))
+		r.CounterFunc("vitis_store_append_errors_total", "Store appends refused by an I/O failure.", counterFn(m.AppendErrors))
+		r.CounterFunc("vitis_store_fsyncs_total", "Fsync calls on the active segment.", counterFn(m.Fsyncs))
+		r.CounterFunc("vitis_store_segments_created_total", "Log segments opened for writing.", counterFn(m.SegmentsCreated))
+		r.CounterFunc("vitis_store_segments_dropped_total", "Log segments removed by retention.", counterFn(m.SegmentsDropped))
+		r.CounterFunc("vitis_store_retention_dropped_records_total", "Records dropped by byte/age retention.", counterFn(m.RetentionDropped))
+		r.CounterFunc("vitis_store_torn_truncations_total", "Torn tails truncated during crash-recovery open.", counterFn(m.TornTruncations))
+		r.CounterFunc("vitis_store_truncated_bytes_total", "Bytes discarded by torn-tail truncation.", counterFn(m.TruncatedBytes))
+		r.GaugeFunc("vitis_store_records", "Records currently retained by the event store.", gaugeFn(m.Records))
+		r.GaugeFunc("vitis_store_bytes", "Record bytes currently retained by the event store.", gaugeFn(m.Bytes))
+		r.GaugeFunc("vitis_store_topics", "Topics with at least one retained record.", gaugeFn(m.Topics))
+		r.GaugeFunc("vitis_store_segments", "Live log segment files.", gaugeFn(m.Segments))
 	}
 	return m
 }

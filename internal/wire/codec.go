@@ -84,6 +84,35 @@ func encodeBody(w *writer, msg simnet.Message) (byte, error) {
 			w.u64(uint64(t))
 		}
 		return TReplayReq, nil
+	case core.CatchUpReq:
+		w.u64(uint64(m.Topic))
+		w.u64(m.After)
+		return TCatchUpReq, nil
+	case core.CatchUpResp:
+		if len(m.Events) > maxCount {
+			return TCatchUpResp, fmt.Errorf("%w: %d events", ErrTooLarge, len(m.Events))
+		}
+		w.u64(uint64(m.Topic))
+		w.u64(m.Next)
+		if m.More {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.u16(uint16(len(m.Events)))
+		for _, e := range m.Events {
+			w.u64(uint64(e.Event.Publisher))
+			w.u64(e.Event.Seq)
+			w.u32(uint32(int32(e.Hops)))
+			if e.HasData {
+				w.u8(1)
+			} else {
+				w.u8(0)
+			}
+			w.u32(uint32(len(e.Payload)))
+			w.bytes(e.Payload)
+		}
+		return TCatchUpResp, nil
 	default:
 		return 0, fmt.Errorf("%w: %T", ErrUnkeyable, msg)
 	}
@@ -163,6 +192,53 @@ func decodeBody(typ byte, r *reader) (simnet.Message, error) {
 		return m, r.err
 	case TReplayReq:
 		return core.ReplayReq{Topics: decodeTopicList(r)}, r.err
+	case TCatchUpReq:
+		return core.CatchUpReq{
+			Topic: core.TopicID(r.u64()),
+			After: r.u64(),
+		}, r.err
+	case TCatchUpResp:
+		m := core.CatchUpResp{
+			Topic: core.TopicID(r.u64()),
+			Next:  r.u64(),
+		}
+		switch r.u8() {
+		case 0:
+		case 1:
+			m.More = true
+		default:
+			r.fail(ErrCanonical)
+		}
+		n := r.count(25)
+		if n == 0 {
+			return m, r.err
+		}
+		m.Events = make([]core.CatchUpEvent, 0, n)
+		for i := 0; i < n; i++ {
+			e := core.CatchUpEvent{
+				Event: core.EventID{Publisher: simnet.NodeID(r.u64()), Seq: r.u64()},
+				Hops:  int(int32(r.u32())),
+			}
+			switch r.u8() {
+			case 0:
+			case 1:
+				e.HasData = true
+			default:
+				r.fail(ErrCanonical)
+			}
+			plen := int(r.u32())
+			if r.err == nil && plen > r.remaining() {
+				r.fail(ErrTruncated)
+			}
+			if b := r.take(plen); b != nil && plen > 0 {
+				e.Payload = append([]byte(nil), b...)
+			}
+			if r.err != nil {
+				return m, r.err
+			}
+			m.Events = append(m.Events, e)
+		}
+		return m, r.err
 	default:
 		return nil, ErrUnknownType
 	}
@@ -401,5 +477,12 @@ func Samples() []simnet.Message {
 		core.PullResp{Event: core.EventID{Publisher: 42, Seq: 7}, Payload: []byte("payload bytes")},
 		core.ReplayReq{},
 		core.ReplayReq{Topics: []core.TopicID{10, 20, 30}},
+		core.CatchUpReq{Topic: 10, After: 7},
+		core.CatchUpResp{Topic: 10, Next: 7},
+		core.CatchUpResp{Topic: 10, Next: 9, More: true, Events: []core.CatchUpEvent{
+			{Event: core.EventID{Publisher: 42, Seq: 7}, Hops: 2},
+			{Event: core.EventID{Publisher: 42, Seq: 8}, Hops: 5, HasData: true},
+			{Event: core.EventID{Publisher: 43, Seq: 1}, Hops: 1, HasData: true, Payload: []byte("caught-up payload")},
+		}},
 	}
 }

@@ -71,6 +71,8 @@ const (
 	TPullReq         byte = 13 // core.PullReq
 	TPullResp        byte = 14 // core.PullResp
 	TReplayReq       byte = 15 // core.ReplayReq
+	TCatchUpReq      byte = 16 // core.CatchUpReq
+	TCatchUpResp     byte = 17 // core.CatchUpResp
 )
 
 // Decode/Encode failure modes.
@@ -106,6 +108,8 @@ var typeNames = map[byte]string{
 	TPullReq:         "core.PullReq",
 	TPullResp:        "core.PullResp",
 	TReplayReq:       "core.ReplayReq",
+	TCatchUpReq:      "core.CatchUpReq",
+	TCatchUpResp:     "core.CatchUpResp",
 }
 
 // TypeName returns the registry name of a message-type byte, or a numeric
