@@ -1,0 +1,335 @@
+package main
+
+// Live cluster observability: a monitor folds every scrape of the fleet's
+// /metrics endpoints into a streaming telemetry.Collector, re-evaluates the
+// OPERATIONS.md alert rules after each one, and renders the result two ways
+// — an ANSI terminal dashboard repainted in place (-dash) and an HTTP
+// endpoint serving a self-refreshing HTML page plus machine-readable JSON
+// under /api/series (-dash-addr).
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"vitis/internal/telemetry"
+	"vitis/internal/telemetry/alerts"
+)
+
+// deliveryLatencyMetric is the cluster-wide end-to-end delivery SLO series;
+// catchUpLatencyMetric its backfill counterpart (publish → catch-up
+// delivery, so values grow with how long subscribers were offline).
+const (
+	deliveryLatencyMetric = "vitis_core_delivery_latency_seconds"
+	catchUpLatencyMetric  = "vitis_store_catchup_latency_seconds"
+)
+
+// dashMetrics picks the series worth a dashboard row, in display order.
+// Rows whose series never appeared in a scrape are skipped.
+var dashMetrics = []string{
+	"vitis_node_joined",
+	"vitis_core_published_total",
+	"vitis_core_deliveries_total",
+	"vitis_core_duplicate_notifications_total",
+	"vitis_core_forwards_total",
+	"vitis_core_rejoins_total",
+	"vitis_transport_tx_datagrams_total",
+	"vitis_transport_tx_bytes_total",
+	"vitis_transport_tx_dropped_total",
+	"vitis_host_inbox_drops_total",
+	"vitis_go_goroutines",
+	"vitis_store_appends_total",
+	"vitis_store_catchup_deliveries_total",
+	"vitis_store_catchup_topics_pending",
+}
+
+// monitor is the streaming observer of one cluster run. observe is called
+// from the run loop only; the collector and the status snapshot are safe for
+// the HTTP handlers to read concurrently.
+type monitor struct {
+	col  *telemetry.Collector
+	eng  *alerts.Engine
+	dash bool // repaint the ANSI dashboard after every scrape
+	out  io.Writer
+
+	windowMs int64 // rate window shown in the dashboard
+
+	mu      sync.Mutex
+	status  []alerts.Alert
+	scrapes int
+	firstMs int64
+	lastMs  int64
+}
+
+// newMonitor builds a monitor sized for the cluster: ring buffers deep
+// enough for a few minutes of history at the scrape cadence, alert rules
+// scaled to the node count.
+func newMonitor(nodes int, scrapeMs int64, dash bool, out io.Writer) *monitor {
+	if scrapeMs <= 0 {
+		scrapeMs = 1000
+	}
+	capacity := int(5 * 60 * 1000 / scrapeMs) // ~5 minutes of points
+	if capacity < 16 {
+		capacity = 16
+	}
+	col := telemetry.NewCollector(capacity)
+	return &monitor{
+		col:      col,
+		eng:      alerts.NewEngine(col, alerts.DefaultRules(nodes, scrapeMs)),
+		dash:     dash,
+		out:      out,
+		windowMs: 10 * scrapeMs,
+	}
+}
+
+// observe folds one cluster-wide scrape into the collector at tMs: every
+// sample name summed across nodes (labeled histogram buckets included —
+// cumulative bucket counts aggregate by addition), then the alert rules are
+// re-evaluated and, with -dash, the terminal repainted.
+func (m *monitor) observe(tMs int64, ms []map[string]float64) {
+	agg := make(map[string]float64)
+	for _, node := range ms {
+		for name, v := range node {
+			agg[name] += v
+		}
+	}
+	names := make([]string, 0, len(agg))
+	for name := range agg {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic series creation order
+	for _, name := range names {
+		m.col.Record(name, tMs, agg[name])
+	}
+	status := m.eng.Eval(tMs)
+
+	m.mu.Lock()
+	m.status = status
+	m.scrapes++
+	if m.firstMs == 0 {
+		m.firstMs = tMs
+	}
+	m.lastMs = tMs
+	m.mu.Unlock()
+
+	if m.dash {
+		fmt.Fprint(m.out, "\x1b[H\x1b[2J")
+		m.render(m.out)
+	}
+}
+
+// firedEver returns the names of every rule that fired during the run.
+func (m *monitor) firedEver() []string { return m.eng.FiredEver() }
+
+func (m *monitor) snapshot() (status []alerts.Alert, scrapes int, firstMs, lastMs int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.status, m.scrapes, m.firstMs, m.lastMs
+}
+
+// render paints the dashboard as plain text (the ANSI clear codes are the
+// caller's concern, keeping this testable against a golden file).
+func (m *monitor) render(w io.Writer) {
+	status, scrapes, firstMs, lastMs := m.snapshot()
+	fmt.Fprintf(w, "vitis cluster — scrape #%d, t=%.1fs\n\n", scrapes, float64(lastMs-firstMs)/1000)
+
+	fmt.Fprintf(w, "%-42s %12s %10s  %s\n", "metric", "last", "rate/s", "trend")
+	for _, name := range dashMetrics {
+		last := m.col.Latest(name)
+		if math.IsNaN(last) {
+			continue // series never scraped (e.g. store rows without -store)
+		}
+		fmt.Fprintf(w, "%-42s %12s %10s  %s\n",
+			name, fmtVal(last), fmtVal(m.col.Rate(name, m.windowMs)), sparkline(m.col.TailValues(name, 24)))
+	}
+
+	fmt.Fprintf(w, "\ndelivery latency  %s\n", m.latencyLine(deliveryLatencyMetric))
+	if !math.IsNaN(m.col.Latest(catchUpLatencyMetric + "_count")) {
+		fmt.Fprintf(w, "catch-up latency  %s\n", m.latencyLine(catchUpLatencyMetric))
+	}
+
+	firing := 0
+	for _, a := range status {
+		if a.State == alerts.Firing {
+			firing++
+		}
+	}
+	if firing == 0 {
+		fmt.Fprintf(w, "\nalerts: %d rules, none firing\n", len(status))
+	} else {
+		fmt.Fprintf(w, "\nalerts: %d of %d rules FIRING\n", firing, len(status))
+	}
+	for _, a := range status {
+		if a.State != alerts.Inactive {
+			fmt.Fprintf(w, "  %s\n", alerts.Describe(a))
+		}
+	}
+}
+
+// latencyLine summarizes one scraped histogram: p50/p90/p99 plus the
+// observation count.
+func (m *monitor) latencyLine(name string) string {
+	count := m.col.Latest(name + "_count")
+	if math.IsNaN(count) || count == 0 {
+		return "no samples yet"
+	}
+	return fmt.Sprintf("p50=%s p90=%s p99=%s (n=%.0f)",
+		fmtSeconds(m.col.Quantile(name, 0.5)),
+		fmtSeconds(m.col.Quantile(name, 0.9)),
+		fmtSeconds(m.col.Quantile(name, 0.99)), count)
+}
+
+// fmtVal renders a sample value compactly (integers without decimals, big
+// numbers with SI-ish suffixes so columns stay narrow).
+func fmtVal(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case math.Abs(v) >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case math.Abs(v) >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// fmtSeconds renders a latency in seconds at a readable scale.
+func fmtSeconds(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v < 1:
+		return fmt.Sprintf("%.0fms", v*1000)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as a block-character trend, scaled to the
+// window's own min..max (a flat series renders as a flat low line).
+func sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// apiAlert is one rule's status in the /api/series document.
+type apiAlert struct {
+	Name   string   `json:"name"`
+	State  string   `json:"state"`
+	Value  *float64 `json:"value"` // null while the series is unknown
+	SinceT int64    `json:"since_ms,omitempty"`
+}
+
+// apiDoc is the /api/series response: full ring-buffer history per series,
+// alert states, and the delivery-latency quantiles.
+type apiDoc struct {
+	NowMs   int64                        `json:"now_ms"`
+	Scrapes int                          `json:"scrapes"`
+	Series  map[string][]telemetry.Point `json:"series"`
+	Alerts  []apiAlert                   `json:"alerts"`
+	Latency map[string]*float64          `json:"delivery_latency_seconds"`
+}
+
+// jsonFloat maps NaN/Inf (unrepresentable in JSON) to null.
+func jsonFloat(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// apiSnapshot builds the /api/series document.
+func (m *monitor) apiSnapshot() apiDoc {
+	status, scrapes, _, lastMs := m.snapshot()
+	doc := apiDoc{
+		NowMs:   lastMs,
+		Scrapes: scrapes,
+		Series:  make(map[string][]telemetry.Point),
+		Latency: map[string]*float64{
+			"p50": jsonFloat(m.col.Quantile(deliveryLatencyMetric, 0.5)),
+			"p90": jsonFloat(m.col.Quantile(deliveryLatencyMetric, 0.9)),
+			"p99": jsonFloat(m.col.Quantile(deliveryLatencyMetric, 0.99)),
+		},
+	}
+	for _, name := range m.col.Names() {
+		pts := m.col.PointsOf(name)
+		for i := range pts {
+			if math.IsNaN(pts[i].V) || math.IsInf(pts[i].V, 0) {
+				pts[i].V = 0
+			}
+		}
+		doc.Series[name] = pts
+	}
+	for _, a := range status {
+		doc.Alerts = append(doc.Alerts, apiAlert{
+			Name: a.Rule.Name, State: a.State.String(), Value: jsonFloat(a.Value), SinceT: a.Since,
+		})
+	}
+	return doc
+}
+
+// serveDash starts the HTTP dashboard: "/" is a self-refreshing HTML view of
+// the terminal dashboard, "/api/series" the JSON document behind it.
+func (m *monitor) serveDash(addr string) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: m.dashMux()}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}
+
+func (m *monitor) dashMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		m.render(&b)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, `<!DOCTYPE html><html><head><meta charset="utf-8">`+
+			`<meta http-equiv="refresh" content="2"><title>vitis cluster</title>`+
+			`<style>body{background:#101418;color:#d8dee4;font-family:monospace;padding:1em}</style>`+
+			`</head><body><pre>%s</pre><p><a style="color:#8ab4f8" href="/api/series">/api/series</a></p></body></html>`,
+			html.EscapeString(b.String()))
+	})
+	mux.HandleFunc("/api/series", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(m.apiSnapshot())
+	})
+	return mux
+}

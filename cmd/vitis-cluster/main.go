@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -73,12 +74,23 @@ func main() {
 		"fraction of subscriber nodes held offline during the publish window, rejoining afterwards to catch up from stores (0 = off)")
 	flag.StringVar(&cfg.storeDir, "store-dir", "",
 		"root directory for per-node event stores (default: a temp dir, removed on exit; implies stores only with -offline-frac)")
+	flag.DurationVar(&cfg.scrapeInterval, "scrape-interval", time.Second, "cadence of the monitoring scrape loop")
+	flag.DurationVar(&cfg.scrapeTimeout, "scrape-timeout", 5*time.Second, "per-node /metrics fetch timeout")
+	flag.IntVar(&cfg.scrapeWorkers, "scrape-workers", 16, "concurrent /metrics fetches per scrape")
+	flag.BoolVar(&cfg.dash, "dash", false, "repaint a live ANSI dashboard on stdout after every scrape")
+	flag.StringVar(&cfg.dashAddr, "dash-addr", "", "HTTP address serving the live dashboard and /api/series (empty = off)")
+	flag.BoolVar(&cfg.alertsGate, "alerts-gate", false, "exit non-zero when any alert rule fired at any point during the run")
 	flag.BoolVar(&cfg.verbose, "v", false, "log per-node progress")
 	flag.Parse()
 
 	sum, err := runCluster(cfg, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vitis-cluster: %v\n", err)
+		os.Exit(1)
+	}
+	if cfg.alertsGate && len(sum.AlertsFired) > 0 {
+		fmt.Fprintf(os.Stderr, "vitis-cluster: -alerts-gate: %d alert(s) fired during the run: %s\n",
+			len(sum.AlertsFired), strings.Join(sum.AlertsFired, ", "))
 		os.Exit(1)
 	}
 	if cfg.minDelivery > 0 && sum.DeliveryRatio < cfg.minDelivery {
@@ -105,6 +117,12 @@ type clusterConfig struct {
 	maxGoroutineGrowth         int
 	offlineFrac                float64
 	storeDir                   string
+	scrapeInterval             time.Duration
+	scrapeTimeout              time.Duration
+	scrapeWorkers              int
+	dash                       bool
+	dashAddr                   string
+	alertsGate                 bool
 	verbose                    bool
 }
 
@@ -141,6 +159,10 @@ type summary struct {
 	GoroutinesJoined int64   `json:"goroutines_total_at_join"`
 	GoroutinesFinal  int64   `json:"goroutines_total_at_drain"`
 	GoroutineGrowth  int64   `json:"goroutines_steady_growth"`
+
+	DeliveryP50Sec float64  `json:"delivery_latency_p50_sec,omitempty"`
+	DeliveryP99Sec float64  `json:"delivery_latency_p99_sec,omitempty"`
+	AlertsFired    []string `json:"alerts_fired,omitempty"`
 
 	OfflineNodes       int     `json:"offline_nodes,omitempty"`
 	CatchUpSec         float64 `json:"catchup_sec,omitempty"`
@@ -241,9 +263,9 @@ func (p *nodeProc) terminate() {
 	}
 }
 
-// scrape GETs one node's /metrics and parses the label-free samples.
-func scrape(addr string) (map[string]float64, error) {
-	resp, err := http.Get("http://" + addr + "/metrics")
+// scrape GETs one node's /metrics and parses it.
+func scrape(client *http.Client, addr string) (map[string]float64, error) {
+	resp, err := client.Get("http://" + addr + "/metrics")
 	if err != nil {
 		return nil, err
 	}
@@ -255,9 +277,17 @@ func scrape(addr string) (map[string]float64, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("/metrics on %s returned %d", addr, resp.StatusCode)
 	}
+	return parseMetrics(string(body)), nil
+}
+
+// parseMetrics parses a Prometheus text exposition body. Labeled samples are
+// kept under their full name (`h_bucket{le="0.5"}`) — exactly the keying the
+// collector's histogram reconstruction expects — so histogram buckets
+// survive the trip instead of being silently dropped.
+func parseMetrics(body string) map[string]float64 {
 	out := make(map[string]float64)
-	for _, line := range strings.Split(string(body), "\n") {
-		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		name, val, ok := strings.Cut(line, " ")
@@ -268,7 +298,7 @@ func scrape(addr string) (map[string]float64, error) {
 			out[name] = f
 		}
 	}
-	return out, nil
+	return out
 }
 
 // plan is the workload assignment: who subscribes to what, who publishes
@@ -385,6 +415,16 @@ func pickOffline(cfg clusterConfig, pl *plan) ([]int, error) {
 }
 
 func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
+	// Tests construct cfg directly, so zero values take the flag defaults.
+	if cfg.scrapeInterval <= 0 {
+		cfg.scrapeInterval = time.Second
+	}
+	if cfg.scrapeTimeout <= 0 {
+		cfg.scrapeTimeout = 5 * time.Second
+	}
+	if cfg.scrapeWorkers <= 0 {
+		cfg.scrapeWorkers = 16
+	}
 	pl, err := buildPlan(cfg)
 	if err != nil {
 		return nil, err
@@ -520,20 +560,35 @@ func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 		fmt.Fprintf(out, "all %d nodes joined in %.1fs\n", cfg.nodes, joinSec)
 	}
 
-	// scrapeAll reads every running node's /metrics; nodes not started yet
-	// contribute an empty sample map, keeping indices aligned with the plan.
+	// scrapeAll reads every running node's /metrics through a bounded worker
+	// pool, each fetch under its own timeout. Results land at the node's
+	// index, so the output order is deterministic regardless of completion
+	// order; nodes not started yet contribute an empty sample map, keeping
+	// indices aligned with the plan.
+	client := &http.Client{Timeout: cfg.scrapeTimeout}
 	scrapeAll := func() ([]map[string]float64, error) {
 		ms := make([]map[string]float64, len(procs))
+		errs := make([]error, len(procs))
+		sem := make(chan struct{}, cfg.scrapeWorkers)
+		var wg sync.WaitGroup
 		for i, p := range procs {
-			if p == nil {
+			if p == nil || p.metricsAddr == "" {
 				ms[i] = map[string]float64{}
 				continue
 			}
-			m, err := scrape(p.metricsAddr)
+			wg.Add(1)
+			go func(i int, p *nodeProc) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				ms[i], errs[i] = scrape(client, p.metricsAddr)
+			}(i, p)
+		}
+		wg.Wait()
+		for i, err := range errs {
 			if err != nil {
-				return nil, fmt.Errorf("node %d: %w; log tail:\n%s", i, err, p.dump())
+				return nil, fmt.Errorf("node %d: %w; log tail:\n%s", i, err, procs[i].dump())
 			}
-			ms[i] = m
 		}
 		return ms, nil
 	}
@@ -545,20 +600,54 @@ func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 		return s
 	}
 
-	joinedScrape, err := scrapeAll()
+	// The monitor streams every scrape from here on into its collector,
+	// evaluates the alert rules, and drives the -dash / -dash-addr views.
+	mon := newMonitor(cfg.nodes, cfg.scrapeInterval.Milliseconds(), cfg.dash, out)
+	if cfg.dashAddr != "" {
+		dashSrv, dashListen, err := mon.serveDash(cfg.dashAddr)
+		if err != nil {
+			return nil, err
+		}
+		defer dashSrv.Close()
+		fmt.Fprintf(out, "dashboard on http://%s (JSON: /api/series)\n", dashListen)
+	}
+	monScrape := func() ([]map[string]float64, error) {
+		ms, err := scrapeAll()
+		if err != nil {
+			return nil, err
+		}
+		mon.observe(time.Now().UnixMilli(), ms)
+		return ms, nil
+	}
+
+	joinedScrape, err := monScrape()
 	if err != nil {
 		return nil, err
 	}
 
 	// Let every publish window run out (settle delay plus the window
-	// itself), then wait for the delivery counters to go quiet: all
-	// in-flight events drained.
-	time.Sleep(cfg.settle + cfg.publishFor)
+	// itself), scraping the fleet on the monitor cadence the whole time,
+	// then wait for the delivery counters to go quiet: all in-flight events
+	// drained.
+	windowEnd := time.Now().Add(cfg.settle + cfg.publishFor)
+	for {
+		d := time.Until(windowEnd)
+		if d <= 0 {
+			break
+		}
+		if d > cfg.scrapeInterval {
+			d = cfg.scrapeInterval
+		}
+		time.Sleep(d)
+		if _, err := monScrape(); err != nil {
+			return nil, err
+		}
+	}
 	drainDeadline := time.Now().Add(cfg.drainTimeout)
 	var finalScrape []map[string]float64
 	lastPub, lastDel, stableSince := -1.0, -1.0, time.Now()
 	for {
-		ms, err := scrapeAll()
+		ms, err := monScrape()
 		if err != nil {
 			return nil, err
 		}
@@ -572,7 +661,7 @@ func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 		if time.Now().After(drainDeadline) {
 			return nil, fmt.Errorf("counters never stabilised: published=%v delivered=%v", pub, del)
 		}
-		time.Sleep(1 * time.Second)
+		time.Sleep(cfg.scrapeInterval)
 	}
 	loadSec := time.Since(joined).Seconds()
 
@@ -596,7 +685,7 @@ func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 		lateDeadline := time.Now().Add(cfg.drainTimeout)
 		lastDel, stableSince := -1.0, time.Now()
 		for {
-			ms, err := scrapeAll()
+			ms, err := monScrape()
 			if err != nil {
 				return nil, err
 			}
@@ -613,10 +702,10 @@ func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 			if time.Now().After(lateDeadline) {
 				return nil, fmt.Errorf("catch-up never drained: late deliveries=%v pending walks=%v", del, pending)
 			}
-			time.Sleep(1 * time.Second)
+			time.Sleep(cfg.scrapeInterval)
 		}
 		catchUpSec = time.Since(lateStart).Seconds()
-		if finalScrape, err = scrapeAll(); err != nil {
+		if finalScrape, err = monScrape(); err != nil {
 			return nil, err
 		}
 	}
@@ -626,7 +715,7 @@ func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 	// leaks per-peer flushers keeps growing here as shuffles touch new
 	// peers; idle teardown keeps it steady.
 	time.Sleep(cfg.stableFor)
-	steadyScrape, err := scrapeAll()
+	steadyScrape, err := monScrape()
 	if err != nil {
 		return nil, err
 	}
@@ -681,6 +770,13 @@ func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 	if s.goroutineBudget == 0 {
 		s.goroutineBudget = int64(cfg.nodes)
 	}
+	s.AlertsFired = mon.firedEver()
+	if p50 := mon.col.Quantile(deliveryLatencyMetric, 0.5); !math.IsNaN(p50) {
+		s.DeliveryP50Sec = p50
+	}
+	if p99 := mon.col.Quantile(deliveryLatencyMetric, 0.99); !math.IsNaN(p99) {
+		s.DeliveryP99Sec = p99
+	}
 
 	rows := tableRows
 	if storeRoot != "" {
@@ -701,6 +797,13 @@ func runCluster(cfg clusterConfig, out io.Writer) (*summary, error) {
 	if storeRoot != "" {
 		fmt.Fprintf(out, "catch-up: %d offline subscribers backfilled in %.1fs: %d deliveries via catch-up, %d events / %d bytes served from stores (%d records across the cluster)\n",
 			s.OfflineNodes, s.CatchUpSec, s.CatchUpDeliveries, s.CatchUpServed, s.CatchUpServedBytes, s.StoreRecords)
+	}
+	fmt.Fprintf(out, "delivery latency: %s\n", mon.latencyLine(deliveryLatencyMetric))
+	_, scrapes, _, _ := mon.snapshot()
+	if len(s.AlertsFired) > 0 {
+		fmt.Fprintf(out, "alerts fired during the run (%d scrapes): %s\n", scrapes, strings.Join(s.AlertsFired, ", "))
+	} else {
+		fmt.Fprintf(out, "alerts: none fired across %d scrapes\n", scrapes)
 	}
 	fmt.Fprintf(out, "load ran %.1fs: %.1f delivered msgs/sec (%.1f per core, %d cores)\n",
 		loadSec, s.MsgsPerSec, s.MsgsPerSecCore, s.Cores)

@@ -132,4 +132,16 @@ func TestClusterSmoke(t *testing.T) {
 	if sum.TxDatagrams == 0 || sum.TxFrames < sum.TxDatagrams {
 		t.Fatalf("implausible wire counters: frames=%d datagrams=%d", sum.TxFrames, sum.TxDatagrams)
 	}
+	// A healthy run must be silent: the OPERATIONS.md alert rules are tuned
+	// so steady-state gossip never trips them.
+	if len(sum.AlertsFired) != 0 {
+		t.Fatalf("alerts fired on a healthy cluster: %v", sum.AlertsFired)
+	}
+	// The live delivery-latency histogram must have accumulated real
+	// observations (self-deliveries are excluded, so this proves remote
+	// deliveries carried usable publish timestamps).
+	if sum.DeliveryP50Sec <= 0 || sum.DeliveryP99Sec < sum.DeliveryP50Sec {
+		t.Fatalf("implausible delivery latency percentiles: p50=%v p99=%v",
+			sum.DeliveryP50Sec, sum.DeliveryP99Sec)
+	}
 }

@@ -174,10 +174,10 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
-		start := time.Now()
-		tracer = telemetry.NewTracer(f, func() int64 {
-			return int64(time.Since(start) / time.Millisecond)
-		})
+		// Spans are stamped with unix milliseconds — the same clock every
+		// other node uses — so vitis-trace can compute cross-process
+		// publish→deliver latency from a merged trace.
+		tracer = telemetry.NewTracer(f, func() int64 { return time.Now().UnixMilli() })
 		defer tracer.Close()
 	}
 
@@ -235,7 +235,8 @@ func run(cfg config) error {
 		})
 
 	// storeInfo renders the store line /healthz appends; nil means no store.
-	var storeInfo func() string
+	// latencyInfo likewise renders the delivery-latency summary line.
+	var storeInfo, latencyInfo func() string
 	var evStore store.EventStore
 
 	switch cfg.role {
@@ -262,6 +263,12 @@ func run(cfg config) error {
 			return err
 		}
 		metrics := telemetry.NewNodeMetrics(reg)
+		// Histogram reads are atomic snapshots: safe off the driver goroutine.
+		latencyInfo = func() string {
+			h := metrics.DeliveryLatency
+			return fmt.Sprintf("latency deliveries=%d p50=%.3fs p99=%.3fs",
+				h.Count(), h.Quantile(0.5), h.Quantile(0.99))
+		}
 		if cfg.storeDir != "" {
 			scfg := cfg.storeCfg
 			scfg.Metrics = telemetry.NewStoreMetrics(reg)
@@ -296,7 +303,7 @@ func run(cfg config) error {
 		return fmt.Errorf("unknown -role %q (want node or bootstrap)", cfg.role)
 	}
 
-	srv, err := serveMetrics(cfg.metricsAddr, reg, &joined, storeInfo)
+	srv, err := serveMetrics(cfg.metricsAddr, reg, &joined, storeInfo, latencyInfo)
 	if err != nil {
 		return err
 	}
@@ -350,10 +357,10 @@ func run(cfg config) error {
 }
 
 // serveMetrics starts the observability HTTP listener: Prometheus text on
-// /metrics, join state (plus one store summary line, when the node runs
-// with -store) on /healthz, the Go profiler under /debug/pprof/. A nil
-// server is returned when addr is empty.
-func serveMetrics(addr string, reg *telemetry.Registry, joined *atomic.Bool, storeInfo func() string) (*http.Server, error) {
+// /metrics, join state (plus a delivery-latency summary line and, when the
+// node runs with -store, one store summary line) on /healthz, the Go
+// profiler under /debug/pprof/. A nil server is returned when addr is empty.
+func serveMetrics(addr string, reg *telemetry.Registry, joined *atomic.Bool, storeInfo, latencyInfo func() string) (*http.Server, error) {
 	if addr == "" {
 		return nil, nil
 	}
@@ -369,6 +376,9 @@ func serveMetrics(addr string, reg *telemetry.Registry, joined *atomic.Bool, sto
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if joined.Load() {
 			fmt.Fprintln(w, "ok")
+			if latencyInfo != nil {
+				fmt.Fprintln(w, latencyInfo())
+			}
 			if storeInfo != nil {
 				fmt.Fprintln(w, storeInfo())
 			}
@@ -436,6 +446,9 @@ func setupNode(eng *simnet.Engine, host *transport.Host, cfg nodeConfig) error {
 		Metrics:   cfg.metrics,
 		Tracer:    cfg.tracer,
 		Store:     cfg.store,
+		// Real nodes stamp events with the wall clock so delivery latency is
+		// measurable across processes (the engine clock is per-process).
+		Now: func() int64 { return time.Now().UnixMilli() },
 	})
 	var topics []core.TopicID
 	if cfg.subscribe != "" {

@@ -106,6 +106,21 @@ func runSpans(r io.Reader, w io.Writer, maxTrees int) error {
 	fmt.Fprintf(w, "deliveries %d (avg %.2f hops)\n", deliveries, avg)
 	fmt.Fprintf(w, "relays     %d\n", len(trace.Relays))
 
+	// Publish→deliver latency, reconstructed offline from span timestamps
+	// and quantized to the same buckets as the live
+	// vitis_core_delivery_latency_seconds histogram, so the two percentile
+	// views are directly comparable (0-hop self-deliveries excluded from
+	// both). Requires traces stamped with a shared clock across nodes
+	// (vitis-node uses unix milliseconds).
+	if lats := spanLatencies(trace.Spans); len(lats) > 0 {
+		h := telemetry.NewHistogram(telemetry.DeliveryLatencyBounds...)
+		for _, v := range lats {
+			h.Observe(v)
+		}
+		fmt.Fprintf(w, "latency    p50=%.3fs p90=%.3fs p99=%.3fs over %d remote deliveries\n",
+			h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), len(lats))
+	}
+
 	for i, et := range trace.Events {
 		if maxTrees > 0 && i == maxTrees {
 			fmt.Fprintf(w, "... %d more events\n", len(trace.Events)-i)
@@ -126,6 +141,37 @@ func runSpans(r io.Reader, w io.Writer, maxTrees int) error {
 		}
 	}
 	return nil
+}
+
+// spanLatencies extracts one publish→deliver latency (in seconds) per
+// remote delivery: deliver-span timestamp minus the event's publish-span
+// timestamp. Deliveries with hops == 0 (the publisher delivering to itself)
+// and events whose publish span is missing from the trace are skipped,
+// mirroring what the live delivery-latency histogram observes. Negative
+// differences (clock skew between nodes) clamp to zero, as on the live path.
+func spanLatencies(spans []telemetry.SpanEvent) []float64 {
+	pubTS := make(map[telemetry.EventKey]int64)
+	for _, s := range spans {
+		if s.Kind == telemetry.KindPublish {
+			pubTS[telemetry.EventKey{Pub: s.Pub, Seq: s.Seq}] = s.TS
+		}
+	}
+	var lats []float64
+	for _, s := range spans {
+		if s.Kind != telemetry.KindDeliver || s.Hops == 0 {
+			continue
+		}
+		ts, ok := pubTS[telemetry.EventKey{Pub: s.Pub, Seq: s.Seq}]
+		if !ok {
+			continue
+		}
+		d := float64(s.TS-ts) / 1000
+		if d < 0 {
+			d = 0
+		}
+		lats = append(lats, d)
+	}
+	return lats
 }
 
 // parseFlags parses a subcommand's flags and rejects leftover positional

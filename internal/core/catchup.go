@@ -32,10 +32,12 @@ type CatchUpReq struct {
 }
 
 // CatchUpEvent is one event served from a store: the original notification
-// fields plus the payload when the server still holds it inline.
+// fields — publish timestamp included, so backfill staleness is measurable —
+// plus the payload when the server still holds it inline.
 type CatchUpEvent struct {
 	Event   EventID
 	Hops    int
+	Time    int64 // publisher's ms clock at publish (store.Record.Time)
 	HasData bool
 	Payload []byte
 }
@@ -65,7 +67,7 @@ const (
 	catchUpEmptyQuorum = 2
 	// catchUpPageCap bounds the served page regardless of configuration so
 	// the response body stays inside one wire frame (wire.MaxBody is 65479;
-	// the response overhead is 19 bytes, each event costs 25+payload).
+	// the response overhead is 19 bytes, each event costs 33+payload).
 	catchUpPageCap = 60000
 )
 
@@ -213,6 +215,7 @@ func (n *Node) handleCatchUpReq(from NodeID, m CatchUpReq) {
 					e := CatchUpEvent{
 						Event:   EventID{Publisher: rec.Publisher, Seq: rec.Seq},
 						Hops:    rec.Hops,
+						Time:    rec.Time,
 						HasData: rec.HasData,
 						Payload: rec.Payload,
 					}
@@ -228,7 +231,7 @@ func (n *Node) handleCatchUpReq(from NodeID, m CatchUpReq) {
 						// (same discipline as handleReplayReq).
 						e.HasData = e.HasData && n.HasPayload(e.Event)
 					}
-					served += 25 + len(e.Payload)
+					served += 33 + len(e.Payload)
 					resp.Events = append(resp.Events, e)
 				}
 				n.tel.CatchUpServed.Add(uint64(len(resp.Events)))
@@ -326,15 +329,18 @@ func (n *Node) acceptCatchUpEvent(from NodeID, t TopicID, e CatchUpEvent) {
 	}
 	n.seen.add(ev)
 	if n.params.Recovery {
-		n.recordRecent(t, ev, e.Hops, e.HasData)
+		n.recordRecent(t, ev, e.Hops, e.Time, e.HasData)
 	}
-	n.storeAppend(t, ev, e.Hops, e.HasData, e.Payload)
+	n.storeAppend(t, ev, e.Hops, e.Time, e.HasData, e.Payload)
 	if !n.subs[t] {
 		return // unsubscribed while the walk was in flight
 	}
 	n.tel.Deliveries.Inc()
 	n.tel.CatchUpDelivered.Inc()
 	n.tel.DeliveryHops.Observe(float64(e.Hops))
+	// Backfilled events land in their own latency series: they are stale by
+	// construction and would drown the live p99.
+	n.observeLatency(n.tel.CatchUpLatency, e.Time)
 	n.tracer.Emit(telemetry.SpanEvent{
 		Kind: telemetry.KindDeliver, Node: uint64(n.id), Peer: uint64(from),
 		Topic: uint64(t), Pub: uint64(ev.Publisher), Seq: ev.Seq, Hops: e.Hops,
@@ -360,7 +366,7 @@ func (n *Node) acceptCatchUpEvent(from NodeID, t TopicID, e CatchUpEvent) {
 // Append errors are dropped here: the store counts them itself
 // (vitis_store_append_errors_total) and a full disk must not take the
 // overlay down with it.
-func (n *Node) storeAppend(t TopicID, ev EventID, hops int, hasData bool, payload []byte) {
+func (n *Node) storeAppend(t TopicID, ev EventID, hops int, pubTime int64, hasData bool, payload []byte) {
 	if n.store == nil {
 		return
 	}
@@ -374,6 +380,7 @@ func (n *Node) storeAppend(t TopicID, ev EventID, hops int, hasData bool, payloa
 		Publisher: ev.Publisher,
 		Seq:       ev.Seq,
 		Hops:      hops,
+		Time:      pubTime,
 		HasData:   hasData,
 		Payload:   payload,
 	})

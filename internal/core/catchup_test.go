@@ -22,9 +22,9 @@ func newStoreNode(t *testing.T, p Params) (*simnet.Engine, *simnet.Network, *Nod
 }
 
 func TestCatchUpServesPagedHistoryInOrder(t *testing.T) {
-	// Budget of 80 bytes fits three 25-byte metadata events per page, so
+	// Budget of 105 bytes fits three 33-byte metadata events per page, so
 	// seven published events must arrive as pages of 3+3+1.
-	eng, net, n, m := newStoreNode(t, Params{CatchUpPageBytes: 80})
+	eng, net, n, m := newStoreNode(t, Params{CatchUpPageBytes: 105})
 	tp := Topic("page")
 	var want []EventID
 	for i := 0; i < 7; i++ {
@@ -73,8 +73,8 @@ func TestCatchUpServesPagedHistoryInOrder(t *testing.T) {
 	if m.CatchUpServed.Value() != 7 {
 		t.Errorf("CatchUpServed = %d, want 7", m.CatchUpServed.Value())
 	}
-	if m.CatchUpServedBytes.Value() != 7*25 {
-		t.Errorf("CatchUpServedBytes = %d, want %d", m.CatchUpServedBytes.Value(), 7*25)
+	if m.CatchUpServedBytes.Value() != 7*33 {
+		t.Errorf("CatchUpServedBytes = %d, want %d", m.CatchUpServedBytes.Value(), 7*33)
 	}
 }
 
@@ -107,8 +107,8 @@ func TestCatchUpServedHasDataMatchesHeldPayloads(t *testing.T) {
 	tp := Topic("data")
 	gone := EventID{Publisher: 7, Seq: 1}
 	held := EventID{Publisher: 7, Seq: 2}
-	n.storeAppend(tp, gone, 1, true, nil) // payload never held locally
-	n.storeAppend(tp, held, 1, true, []byte("pay"))
+	n.storeAppend(tp, gone, 1, 0, true, nil) // payload never held locally
+	n.storeAppend(tp, held, 1, 0, true, []byte("pay"))
 
 	var resp CatchUpResp
 	net.Attach(900, simnet.HandlerFunc(func(from NodeID, msg simnet.Message) {
@@ -132,9 +132,9 @@ func TestCatchUpServedHasDataMatchesHeldPayloads(t *testing.T) {
 func TestStoreAppendSkipsAlreadyStoredHistory(t *testing.T) {
 	_, _, n, _ := newStoreNode(t, Params{})
 	tp := Topic("dup")
-	n.storeAppend(tp, EventID{Publisher: 9, Seq: 1}, 0, false, nil)
-	n.storeAppend(tp, EventID{Publisher: 9, Seq: 1}, 3, false, nil) // duplicate
-	n.storeAppend(tp, EventID{Publisher: 9, Seq: 2}, 0, false, nil)
+	n.storeAppend(tp, EventID{Publisher: 9, Seq: 1}, 0, 0, false, nil)
+	n.storeAppend(tp, EventID{Publisher: 9, Seq: 1}, 3, 0, false, nil) // duplicate
+	n.storeAppend(tp, EventID{Publisher: 9, Seq: 2}, 0, 0, false, nil)
 	if got := n.store.Stats().Records; got != 2 {
 		t.Errorf("store holds %d records after a duplicate append, want 2", got)
 	}
@@ -241,7 +241,7 @@ func TestBusyServerNeverClaimsCompleteness(t *testing.T) {
 		t.Fatalf("busy empty answer = %+v, want More=true with no events echoing the cursor", resp)
 	}
 	// Partial store while busy: records are served but never as complete.
-	n.storeAppend(tp, EventID{Publisher: 7, Seq: 1}, 0, false, nil)
+	n.storeAppend(tp, EventID{Publisher: 7, Seq: 1}, 0, 0, false, nil)
 	got = false
 	n.handleCatchUpReq(900, CatchUpReq{Topic: tp, After: 0})
 	eng.RunUntil(eng.Now() + simnet.Second)
@@ -378,7 +378,7 @@ func TestNilStoreHotPathAllocatesNothing(t *testing.T) {
 	tp := Topic("alloc")
 	ev := EventID{Publisher: 100, Seq: 1}
 	if a := testing.AllocsPerRun(1000, func() {
-		n.storeAppend(tp, ev, 0, false, nil)
+		n.storeAppend(tp, ev, 0, 0, false, nil)
 		if n.CatchUpPending() != 0 {
 			t.Fatal("storeless node has catch-up state")
 		}

@@ -41,12 +41,13 @@ func (s *seenSet) len() int { return len(s.cur) + len(s.prev) }
 func (n *Node) Publish(t TopicID) EventID {
 	ev := EventID{Publisher: n.id, Seq: n.pubSeq}
 	n.pubSeq++
+	pubTime := n.now()
 	n.seen.add(ev)
 	n.tel.Published.Inc()
 	if n.params.Recovery {
-		n.recordRecent(t, ev, 0, false)
+		n.recordRecent(t, ev, 0, pubTime, false)
 	}
-	n.storeAppend(t, ev, 0, false, nil)
+	n.storeAppend(t, ev, 0, pubTime, false, nil)
 	n.tracer.Emit(telemetry.SpanEvent{
 		Kind: telemetry.KindPublish, Node: uint64(n.id),
 		Topic: uint64(t), Pub: uint64(ev.Publisher), Seq: ev.Seq,
@@ -61,7 +62,7 @@ func (n *Node) Publish(t TopicID) EventID {
 			n.hooks.OnDeliver(n.id, t, ev, 0)
 		}
 	}
-	n.forwardData(t, ev, 0, n.id, false)
+	n.forwardData(t, ev, 0, pubTime, n.id, false)
 	return ev
 }
 
@@ -95,16 +96,17 @@ func (n *Node) handleNotification(from NodeID, m Notification) {
 	}
 	n.seen.add(m.Event)
 	if n.params.Recovery && interested {
-		n.recordRecent(m.Topic, m.Event, m.Hops, m.HasData)
+		n.recordRecent(m.Topic, m.Event, m.Hops, m.PubTime, m.HasData)
 	}
 	if n.store != nil && (interested || n.IsRelay(m.Topic)) {
 		// Persist what this node delivers or relays: both roles serve
 		// catch-up requests for the topic later.
-		n.storeAppend(m.Topic, m.Event, m.Hops, m.HasData, nil)
+		n.storeAppend(m.Topic, m.Event, m.Hops, m.PubTime, m.HasData, nil)
 	}
 	if interested {
 		n.tel.Deliveries.Inc()
 		n.tel.DeliveryHops.Observe(float64(m.Hops))
+		n.observeLatency(n.tel.DeliveryLatency, m.PubTime)
 		n.tracer.Emit(telemetry.SpanEvent{
 			Kind: telemetry.KindDeliver, Node: uint64(n.id), Peer: uint64(from),
 			Topic: uint64(m.Topic), Pub: uint64(m.Event.Publisher), Seq: m.Event.Seq,
@@ -123,7 +125,23 @@ func (n *Node) handleNotification(from NodeID, m Notification) {
 		}
 		n.startPull(from, m.Event)
 	}
-	n.forwardData(m.Topic, m.Event, m.Hops, from, m.HasData)
+	n.forwardData(m.Topic, m.Event, m.Hops, m.PubTime, from, m.HasData)
+}
+
+// observeLatency records one publish→deliver latency into h: the gap in
+// seconds between the publisher's clock at publish time and this node's
+// clock now. Cross-process clock skew can make the gap negative; those
+// clamp to zero rather than poisoning the histogram. Nil h (telemetry
+// disabled) returns before touching the clock.
+func (n *Node) observeLatency(h *telemetry.Histogram, pubTime int64) {
+	if h == nil {
+		return
+	}
+	d := n.now() - pubTime
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(float64(d) / 1000)
 }
 
 // forwardData sends the notification to every dissemination link for the
@@ -135,7 +153,7 @@ func (n *Node) handleNotification(from NodeID, m Notification) {
 // node), so the target set is built in reusable per-node scratch slices —
 // sorted and deduplicated for deterministic send order — instead of a
 // per-call map.
-func (n *Node) forwardData(t TopicID, ev EventID, hops int, exclude NodeID, hasData bool) {
+func (n *Node) forwardData(t TopicID, ev EventID, hops int, pubTime int64, exclude NodeID, hasData bool) {
 	n.fwdNbrs = n.clusterNeighborsInto(n.fwdNbrs)
 	ids := n.fwdTargets[:0]
 	for _, nb := range n.fwdNbrs {
@@ -165,7 +183,7 @@ func (n *Node) forwardData(t TopicID, ev EventID, hops int, exclude NodeID, hasD
 	n.tel.Forwards.Add(uint64(len(ids)))
 	// Box the notification once: the same value goes to every target, so
 	// one interface conversion serves the whole fan-out.
-	msg := simnet.Message(Notification{Topic: t, Event: ev, Hops: hops + 1, HasData: hasData})
+	msg := simnet.Message(Notification{Topic: t, Event: ev, Hops: hops + 1, PubTime: pubTime, HasData: hasData})
 	for _, id := range ids {
 		n.net.Send(n.id, id, msg)
 		n.tracer.Emit(telemetry.SpanEvent{

@@ -28,6 +28,7 @@ type Node struct {
 	hooks  Hooks
 	tel    *telemetry.NodeMetrics
 	tracer *telemetry.Tracer
+	now    func() int64 // ms clock for event timestamps (hooks.Now or engine time)
 
 	subs map[TopicID]bool
 	rate func(TopicID) float64 // nil = uniform
@@ -163,6 +164,11 @@ func NewNode(net simnet.Net, id NodeID, params Params, hooks Hooks) *Node {
 		n.tel = disabledMetrics
 	}
 	n.tracer = hooks.Tracer
+	n.now = hooks.Now
+	if n.now == nil {
+		eng := n.eng
+		n.now = func() int64 { return int64(eng.Now()) }
+	}
 	n.store = hooks.Store
 	n.rng = net.Engine().DeriveRNG(int64(id))
 	return n

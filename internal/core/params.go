@@ -185,6 +185,13 @@ type Hooks struct {
 	// Tracer records hop-level span events (publishes, receipts, relay
 	// lookup hops, pulls) as JSONL. Nil disables tracing entirely.
 	Tracer *telemetry.Tracer
+	// Now supplies the millisecond clock stamped into published events
+	// (Notification.PubTime) and used to measure publish-to-deliver
+	// latency. Nil falls back to the engine clock — globally consistent
+	// within one simulation; real processes (cmd/vitis-node) pass wall time
+	// so latency is meaningful across machines. Skewed clocks can only make
+	// individual measurements read as zero, never negative.
+	Now func() int64
 	// Store persists events this node publishes, delivers, or relays, and
 	// serves peers' catch-up requests from them (see catchup.go). Nil
 	// disables the store entirely at the cost of one branch per event —

@@ -146,7 +146,7 @@ func TestForwardDataAllocBound(t *testing.T) {
 	eng := n.eng
 	ev := EventID{Publisher: n.id, Seq: 0}
 	run := func() {
-		n.forwardData(tp, ev, 0, 0, false)
+		n.forwardData(tp, ev, 0, 0, 0, false)
 		eng.RunUntil(eng.Now() + 1) // flush the deliveries (drops)
 	}
 	for i := 0; i < 50; i++ {
@@ -180,7 +180,7 @@ func BenchmarkForwardData(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n.forwardData(tp, ev, 0, 0, false)
+		n.forwardData(tp, ev, 0, 0, 0, false)
 		eng.RunUntil(eng.Now() + 1)
 	}
 }

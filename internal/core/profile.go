@@ -63,12 +63,15 @@ type (
 
 	// Notification announces a published event (§III-C). Hops counts the
 	// overlay hops travelled so far; the harness uses it as the
-	// propagation-delay metric. HasData marks events whose payload must be
-	// pulled from the notification sender.
+	// propagation-delay metric. PubTime is the publisher's millisecond
+	// clock at publish time (Hooks.Now), carried end to end so receivers
+	// can measure publish-to-deliver latency. HasData marks events whose
+	// payload must be pulled from the notification sender.
 	Notification struct {
 		Topic   TopicID
 		Event   EventID
 		Hops    int
+		PubTime int64
 		HasData bool
 	}
 )

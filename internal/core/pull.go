@@ -51,13 +51,14 @@ type pullState struct {
 func (n *Node) PublishData(t TopicID, payload []byte) EventID {
 	ev := EventID{Publisher: n.id, Seq: n.pubSeq}
 	n.pubSeq++
+	pubTime := n.now()
 	n.seen.add(ev)
 	n.payloads[ev] = payload
 	n.tel.Published.Inc()
 	if n.params.Recovery {
-		n.recordRecent(t, ev, 0, true)
+		n.recordRecent(t, ev, 0, pubTime, true)
 	}
-	n.storeAppend(t, ev, 0, true, payload)
+	n.storeAppend(t, ev, 0, pubTime, true, payload)
 	n.tracer.Emit(telemetry.SpanEvent{
 		Kind: telemetry.KindPublish, Node: uint64(n.id),
 		Topic: uint64(t), Pub: uint64(ev.Publisher), Seq: ev.Seq,
@@ -75,7 +76,7 @@ func (n *Node) PublishData(t TopicID, payload []byte) EventID {
 			n.hooks.OnPayload(n.id, ev, payload)
 		}
 	}
-	n.forwardData(t, ev, 0, n.id, true)
+	n.forwardData(t, ev, 0, pubTime, n.id, true)
 	return ev
 }
 

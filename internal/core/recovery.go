@@ -44,10 +44,12 @@ type ReplayReq struct {
 func (m ReplayReq) WireSize() int { return 2 + 8*len(m.Topics) }
 
 // replayRecord is one retained event: enough to reconstruct the
-// notification that announced it.
+// notification that announced it, publish timestamp included so replayed
+// deliveries still measure true end-to-end latency.
 type replayRecord struct {
 	ev      EventID
 	hops    int
+	pubTime int64
 	hasData bool
 }
 
@@ -146,8 +148,8 @@ func (n *Node) requestReplay(to NodeID) {
 
 // recordRecent retains one event for future replay; bounded per topic by
 // ReplayDepth (oldest dropped).
-func (n *Node) recordRecent(t TopicID, ev EventID, hops int, hasData bool) {
-	ring := append(n.recent[t], replayRecord{ev: ev, hops: hops, hasData: hasData})
+func (n *Node) recordRecent(t TopicID, ev EventID, hops int, pubTime int64, hasData bool) {
+	ring := append(n.recent[t], replayRecord{ev: ev, hops: hops, pubTime: pubTime, hasData: hasData})
 	if excess := len(ring) - n.params.ReplayDepth; excess > 0 {
 		ring = ring[:copy(ring, ring[excess:])]
 	}
@@ -193,7 +195,7 @@ func (n *Node) handleReplayReq(from NodeID, m ReplayReq) {
 		for _, rec := range n.recent[t] {
 			n.tel.ReplayServed.Inc()
 			n.net.Send(n.id, from, Notification{
-				Topic: t, Event: rec.ev, Hops: rec.hops + 1,
+				Topic: t, Event: rec.ev, Hops: rec.hops + 1, PubTime: rec.pubTime,
 				HasData: rec.hasData && n.HasPayload(rec.ev),
 			})
 		}

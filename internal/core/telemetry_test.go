@@ -121,6 +121,17 @@ func TestTelemetryMatchesCollector(t *testing.T) {
 		t.Errorf("histogram mean = %v, collector avg delay = %v", got, want)
 	}
 
+	// The latency histogram saw the same n-1 remote deliveries (the
+	// publisher's 0-hop self-delivery is excluded), measured on the engine
+	// clock from the publish stamp carried in each notification.
+	if got := tel.DeliveryLatency.Count(); got != uint64(n-1) {
+		t.Errorf("delivery-latency observations = %d, want %d", got, n-1)
+	}
+	if tel.DeliveryLatency.Sum() <= 0 {
+		t.Errorf("delivery-latency sum = %v, want > 0 over 10-80ms simulated links",
+			tel.DeliveryLatency.Sum())
+	}
+
 	// Duplicate accounting: notifications split exactly into first receipts
 	// and seen-set duplicates.
 	if tot, dup := tel.Notifications.Value(), tel.Duplicates.Value(); tot != dup+uint64(n-1) {

@@ -18,8 +18,9 @@ func (m ProfileMsg) WireSize() int {
 // WireSize implements simnet.Sized.
 func (m RelayMsg) WireSize() int { return 8 + 8 + 4 }
 
-// WireSize implements simnet.Sized.
-func (m Notification) WireSize() int { return 8 + 16 + 4 + 1 }
+// WireSize implements simnet.Sized: topic(8) + event(16) + hops(4) +
+// pubtime(8) + flags(1).
+func (m Notification) WireSize() int { return 8 + 16 + 4 + 8 + 1 }
 
 // WireSize implements simnet.Sized.
 func (m PullReq) WireSize() int { return 16 }
@@ -31,13 +32,13 @@ func (m PullResp) WireSize() int { return 16 + 4 + len(m.Payload) }
 func (m CatchUpReq) WireSize() int { return 8 + 8 }
 
 // WireSize implements simnet.Sized: topic(8) + next(8) + more(1) +
-// count(2), then per event publisher(8)+seq(8)+hops(4)+flags(1)+
-// payload length(4)+payload — the same 25+len cost store.Record.WireCost
+// count(2), then per event publisher(8)+seq(8)+hops(4)+pubtime(8)+flags(1)+
+// payload length(4)+payload — the same 33+len cost store.Record.WireCost
 // reports, which is what keeps ReadRange's byte budget honest.
 func (m CatchUpResp) WireSize() int {
 	n := 8 + 8 + 1 + 2
 	for _, e := range m.Events {
-		n += 25 + len(e.Payload)
+		n += 33 + len(e.Payload)
 	}
 	return n
 }

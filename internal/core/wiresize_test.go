@@ -22,7 +22,7 @@ func TestWireSizes(t *testing.T) {
 	if got := (RelayMsg{}).WireSize(); got != 20 {
 		t.Errorf("RelayMsg = %d", got)
 	}
-	if got := (Notification{}).WireSize(); got != 29 {
+	if got := (Notification{}).WireSize(); got != 37 {
 		t.Errorf("Notification = %d", got)
 	}
 	if got := (PullResp{Payload: make([]byte, 100)}).WireSize(); got != 120 {

@@ -25,6 +25,7 @@ import (
 //	u64 publisher event sequence (core.EventID.Seq)
 //	u64 store-assigned per-topic sequence (the ReadRange cursor)
 //	u64 append wall-clock time, unix milliseconds (drives age retention)
+//	u64 publish time, milliseconds (Record.Time; drives latency metrics)
 //	u32 overlay hops at record time
 //	u8  flags (bit 0: the event announced a pullable payload)
 //	u32 payload length + payload bytes
@@ -37,7 +38,7 @@ const (
 	// recHeaderLen is the length+CRC prefix of every record.
 	recHeaderLen = 8
 	// recFixedBody is the body size before the variable payload.
-	recFixedBody = 8 + 8 + 8 + 8 + 8 + 4 + 1 + 4
+	recFixedBody = 8 + 8 + 8 + 8 + 8 + 8 + 4 + 1 + 4
 	// maxRecordBody bounds a single record body; payloads are bounded by the
 	// wire codec's MaxBody upstream, so anything larger marks corruption.
 	maxRecordBody = 1 << 20
@@ -66,6 +67,7 @@ func appendRecord(dst []byte, rec Record, seq uint64, unixMs int64) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, rec.Seq)
 	dst = binary.BigEndian.AppendUint64(dst, seq)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(unixMs))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(rec.Time))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(rec.Hops)))
 	var flags byte
 	if rec.HasData {
@@ -102,13 +104,14 @@ func decodeRecord(b []byte) (rec Record, seq uint64, unixMs int64, n int, err er
 	rec.Seq = binary.BigEndian.Uint64(body[16:24])
 	seq = binary.BigEndian.Uint64(body[24:32])
 	unixMs = int64(binary.BigEndian.Uint64(body[32:40]))
-	rec.Hops = int(int32(binary.BigEndian.Uint32(body[40:44])))
-	flags := body[44]
+	rec.Time = int64(binary.BigEndian.Uint64(body[40:48]))
+	rec.Hops = int(int32(binary.BigEndian.Uint32(body[48:52])))
+	flags := body[52]
 	if flags&^byte(flagHasData) != 0 {
 		return Record{}, 0, 0, 0, errRecordFlags
 	}
 	rec.HasData = flags&flagHasData != 0
-	plen := int(binary.BigEndian.Uint32(body[45:49]))
+	plen := int(binary.BigEndian.Uint32(body[53:57]))
 	if plen != bodyLen-recFixedBody {
 		return Record{}, 0, 0, 0, errRecordLength
 	}

@@ -24,13 +24,17 @@ import (
 // Record is one stored event. Topic/Publisher/Seq identify the event
 // exactly as core.EventID does; Hops is the overlay hop count observed when
 // the record was appended (restored on catch-up delivery so hop histograms
-// stay meaningful); HasData marks events whose payload is pullable;
-// Payload carries the payload bytes when they were known at append time.
+// stay meaningful); Time is the publisher's millisecond clock at publish
+// time (core.Notification.PubTime), restored on catch-up delivery so
+// backfill-staleness histograms stay meaningful; HasData marks events whose
+// payload is pullable; Payload carries the payload bytes when they were
+// known at append time.
 type Record struct {
 	Topic     idspace.ID
 	Publisher simnet.NodeID
 	Seq       uint64 // publisher-assigned event sequence (core.EventID.Seq)
 	Hops      int
+	Time      int64 // publish timestamp, ms (distinct from the append time)
 	HasData   bool
 	Payload   []byte
 }
@@ -38,7 +42,7 @@ type Record struct {
 // WireCost is the bytes this record occupies inside a catch-up response —
 // the unit ReadRange's maxBytes budget is measured in. Must match
 // core.CatchUpResp's per-event encoding cost.
-func (r Record) WireCost() int { return 25 + len(r.Payload) }
+func (r Record) WireCost() int { return 33 + len(r.Payload) }
 
 // Page is one bounded slice of a topic's history.
 type Page struct {

@@ -59,12 +59,12 @@ func TestReadRangePagesByBytes(t *testing.T) {
 				t.Fatalf("%s: Append: %v", name, err)
 			}
 		}
-		// Each record costs 35 wire bytes; a 80-byte budget pages 2 at a time.
+		// Each record costs 43 wire bytes; a 90-byte budget pages 2 at a time.
 		var got []Record
 		after := uint64(0)
 		pages := 0
 		for {
-			page, err := s.ReadRange(3, after, 80)
+			page, err := s.ReadRange(3, after, 90)
 			if err != nil {
 				t.Fatalf("%s: ReadRange: %v", name, err)
 			}
@@ -87,7 +87,7 @@ func TestReadRangePagesByBytes(t *testing.T) {
 			}
 		}
 		// Cursor past the end: empty page, Next unchanged.
-		page, _ := s.ReadRange(3, after, 80)
+		page, _ := s.ReadRange(3, after, 90)
 		if len(page.Records) != 0 || page.More || page.Next != after {
 			t.Fatalf("%s: read past end = %+v", name, page)
 		}

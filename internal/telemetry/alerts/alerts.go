@@ -1,0 +1,278 @@
+// Package alerts evaluates declarative threshold rules against a streaming
+// telemetry.Collector — the docs/OPERATIONS.md "what to watch" table as
+// executable code. Each rule watches one series (or a rate ratio of two),
+// compares a rate or the latest gauge value against a threshold, and walks
+// the Prometheus-style inactive → pending → firing state machine: the
+// condition must hold continuously for the rule's for-duration before the
+// alert fires. The engine is deterministic — same samples, same verdicts —
+// so a cluster harness can gate a run on it (vitis-cluster -alerts-gate).
+package alerts
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vitis/internal/telemetry"
+)
+
+// Kind selects how a rule reads its series.
+type Kind int
+
+const (
+	// RateAbove fires when the counter's reset-aware per-second rate over
+	// Rule.WindowMs exceeds Threshold.
+	RateAbove Kind = iota
+	// GaugeAbove fires when the latest sample exceeds Threshold.
+	GaugeAbove
+	// GaugeBelow fires when the latest sample is below Threshold.
+	GaugeBelow
+	// RatioAbove fires when rate(Metric)/rate(Denom) exceeds Threshold
+	// (skipped while the denominator rate is zero or unknown).
+	RatioAbove
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RateAbove:
+		return "rate>"
+	case GaugeAbove:
+		return "gauge>"
+	case GaugeBelow:
+		return "gauge<"
+	case RatioAbove:
+		return "ratio>"
+	}
+	return "?"
+}
+
+// Rule is one declarative alert condition.
+type Rule struct {
+	Name      string // stable kebab-case identifier
+	Metric    string // series name in the collector
+	Denom     string // denominator series (RatioAbove only)
+	Kind      Kind
+	Threshold float64
+	WindowMs  int64 // rate window (RateAbove/RatioAbove)
+	ForMs     int64 // condition must hold this long before firing
+	Help      string
+}
+
+// State is the lifecycle position of one rule.
+type State int
+
+const (
+	Inactive State = iota
+	Pending        // condition holds, for-duration not yet served
+	Firing
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Firing:
+		return "FIRING"
+	}
+	return "ok"
+}
+
+// Alert is the evaluated status of one rule.
+type Alert struct {
+	Rule  Rule
+	State State
+	Value float64 // the value the condition compared (NaN when unknown)
+	Since int64   // ms timestamp the condition started holding (0 if inactive)
+}
+
+// Engine evaluates a rule set against a collector. Not safe for concurrent
+// Eval; snapshot accessors (Status, FiredEver) may race only with Eval, so
+// call them from the same loop.
+type Engine struct {
+	col    *telemetry.Collector
+	rules  []Rule
+	status []Alert
+	fired  map[string]bool // rules that ever reached Firing
+}
+
+// NewEngine builds an engine over the collector with the given rules.
+func NewEngine(col *telemetry.Collector, rules []Rule) *Engine {
+	e := &Engine{col: col, rules: rules, status: make([]Alert, len(rules)), fired: make(map[string]bool)}
+	for i, r := range rules {
+		e.status[i] = Alert{Rule: r, Value: math.NaN()}
+	}
+	return e
+}
+
+// Eval re-evaluates every rule at the given timestamp (ms, same clock as
+// the collector's samples) and returns the full status slice in rule order.
+func (e *Engine) Eval(nowMs int64) []Alert {
+	for i := range e.rules {
+		r := &e.rules[i]
+		v, holds := e.condition(r)
+		a := &e.status[i]
+		a.Value = v
+		if !holds {
+			a.State, a.Since = Inactive, 0
+			continue
+		}
+		if a.Since == 0 {
+			a.Since = nowMs
+		}
+		if nowMs-a.Since >= r.ForMs {
+			a.State = Firing
+			e.fired[r.Name] = true
+		} else {
+			a.State = Pending
+		}
+	}
+	return e.Status()
+}
+
+func (e *Engine) condition(r *Rule) (value float64, holds bool) {
+	switch r.Kind {
+	case RateAbove:
+		v := e.col.Rate(r.Metric, r.WindowMs)
+		return v, !math.IsNaN(v) && v > r.Threshold
+	case GaugeAbove:
+		v := e.col.Latest(r.Metric)
+		return v, !math.IsNaN(v) && v > r.Threshold
+	case GaugeBelow:
+		v := e.col.Latest(r.Metric)
+		return v, !math.IsNaN(v) && v < r.Threshold
+	case RatioAbove:
+		num := e.col.Rate(r.Metric, r.WindowMs)
+		den := e.col.Rate(r.Denom, r.WindowMs)
+		if math.IsNaN(num) || math.IsNaN(den) || den <= 0 {
+			return math.NaN(), false
+		}
+		return num / den, num/den > r.Threshold
+	}
+	return math.NaN(), false
+}
+
+// Status returns a copy of every rule's current status, rule order.
+func (e *Engine) Status() []Alert {
+	return append([]Alert(nil), e.status...)
+}
+
+// Firing returns the currently firing alerts, rule order.
+func (e *Engine) Firing() []Alert {
+	var out []Alert
+	for _, a := range e.status {
+		if a.State == Firing {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// FiredEver returns the sorted names of rules that reached Firing at any
+// point in the engine's lifetime — the -alerts-gate verdict: a rule that
+// fired and later resolved still fails a gated run.
+func (e *Engine) FiredEver() []string {
+	out := make([]string, 0, len(e.fired))
+	for name := range e.fired {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe renders one alert as a single status line for dashboards and
+// run logs.
+func Describe(a Alert) string {
+	v := "?"
+	if !math.IsNaN(a.Value) {
+		v = fmt.Sprintf("%.3g", a.Value)
+	}
+	return fmt.Sprintf("%-24s %-7s %s %s %g (value %s)",
+		a.Rule.Name, a.State, a.Rule.Metric, a.Rule.Kind, a.Rule.Threshold, v)
+}
+
+// DefaultRules encodes the docs/OPERATIONS.md alerting table for a cluster
+// of the given expected size, with thresholds scaled so a healthy run is
+// silent. window is the rate window and scrapeMs the scrape cadence (the
+// for-durations are multiples of it, so one noisy sample never fires).
+func DefaultRules(nodes int, scrapeMs int64) []Rule {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if scrapeMs <= 0 {
+		scrapeMs = 1000
+	}
+	window := 10 * scrapeMs
+	holdShort := 2 * scrapeMs
+	holdLong := 6 * scrapeMs
+	n := float64(nodes)
+	return []Rule{
+		{
+			Name: "nodes-not-joined", Metric: "vitis_node_joined", Kind: GaugeBelow,
+			Threshold: n, ForMs: holdShort,
+			Help: "Sum of vitis_node_joined is below the cluster size: at least one node lost (or never completed) its overlay join.",
+		},
+		{
+			Name: "rejoin-churn", Metric: "vitis_core_rejoins_total", Kind: RateAbove,
+			Threshold: 0, WindowMs: window, ForMs: holdShort,
+			Help: "Nodes are re-bootstrapping after isolation; healthy clusters never rejoin.",
+		},
+		{
+			Name: "suspicion-churn", Metric: "vitis_core_neighbors_suspected_total", Kind: RateAbove,
+			Threshold: n / 2, WindowMs: window, ForMs: holdLong,
+			Help: "Heartbeat evictions are running hot across the cluster — sustained churn or asymmetric loss.",
+		},
+		{
+			Name: "relay-repair-churn", Metric: "vitis_core_relays_repaired_total", Kind: RateAbove,
+			Threshold: n / 2, WindowMs: window, ForMs: holdLong,
+			Help: "Relay paths keep being rebuilt; rendezvous nodes are flapping.",
+		},
+		{
+			Name: "replay-storm", Metric: "vitis_core_replay_requests_total", Kind: RateAbove,
+			Threshold: 2 * n, WindowMs: window, ForMs: holdLong,
+			Help: "Replay traffic far above the anti-entropy background rate — heavy loss or rejoin loops.",
+		},
+		{
+			// Cluster flooding is redundant by design — a healthy overlay
+			// runs at a ~0.85-0.9 duplicate ratio — so only a near-total
+			// collapse of first receipts is a storm.
+			Name: "duplicate-storm", Metric: "vitis_core_duplicate_notifications_total", Denom: "vitis_core_notifications_total",
+			Kind: RatioAbove, Threshold: 0.95, WindowMs: window, ForMs: holdLong,
+			Help: "Nearly every received notification is a duplicate: replay or loss is dominating the data plane.",
+		},
+		{
+			Name: "transport-drops", Metric: "vitis_transport_tx_dropped_total", Kind: RateAbove,
+			Threshold: 0, WindowMs: window, ForMs: holdShort,
+			Help: "Frames are being dropped from full send queues or stash age-out.",
+		},
+		{
+			Name: "store-append-errors", Metric: "vitis_store_append_errors_total", Kind: RateAbove,
+			Threshold: 0, WindowMs: window, ForMs: 0,
+			Help: "The event store is refusing appends — disk full or dying; history has stopped accumulating.",
+		},
+		{
+			// Every cold start abandons one walk per topic with no stored
+			// history anywhere (storeless peers included), and that burst
+			// stays inside the trailing rate window for ~10 scrapes. The
+			// hold outlasts the window, so only continuous abandonment —
+			// walks failing again and again after startup — fires.
+			Name: "catchup-abandoned", Metric: "vitis_store_catchup_abandoned_total", Kind: RateAbove,
+			Threshold: 0, WindowMs: window, ForMs: window + 2*scrapeMs,
+			Help: "History walks keep exhausting every peer long past startup — subscribed peers are storeless or unreachable.",
+		},
+		{
+			Name: "catchup-stuck", Metric: "vitis_store_catchup_topics_pending", Kind: GaugeAbove,
+			Threshold: 0, ForMs: 60_000,
+			Help: "Topics have been backfilling for over a minute — no reachable peer can complete the walk.",
+		},
+		{
+			Name: "torn-truncations", Metric: "vitis_store_torn_truncations_total", Kind: RateAbove,
+			Threshold: 0, WindowMs: window, ForMs: holdShort,
+			Help: "Segment tails keep being truncated across restarts — fsync settings are not what you think.",
+		},
+		{
+			Name: "retention-burst", Metric: "vitis_store_retention_dropped_records_total", Kind: RateAbove,
+			Threshold: 50 * n, WindowMs: window, ForMs: holdLong,
+			Help: "Retention is shedding records far faster than steady state — RetainBytes too small for the event rate.",
+		},
+	}
+}

@@ -1,0 +1,208 @@
+package alerts
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vitis/internal/telemetry"
+)
+
+func TestGaugeRulePendingThenFiring(t *testing.T) {
+	col := telemetry.NewCollector(16)
+	e := NewEngine(col, []Rule{{
+		Name: "too-high", Metric: "g", Kind: GaugeAbove, Threshold: 10, ForMs: 1000,
+	}})
+
+	col.Record("g", 0, 5)
+	if st := e.Eval(0); st[0].State != Inactive {
+		t.Fatalf("below threshold: %v", st[0].State)
+	}
+	col.Record("g", 1000, 20)
+	if st := e.Eval(1000); st[0].State != Pending || st[0].Since != 1000 {
+		t.Fatalf("first breach should be pending: %+v", st[0])
+	}
+	col.Record("g", 1500, 20)
+	if st := e.Eval(1500); st[0].State != Pending {
+		t.Fatalf("for-duration not served: %v", st[0].State)
+	}
+	col.Record("g", 2000, 20)
+	if st := e.Eval(2000); st[0].State != Firing || st[0].Value != 20 {
+		t.Fatalf("for-duration served, want firing: %+v", st[0])
+	}
+	// Recovery resets state AND the for-duration clock.
+	col.Record("g", 3000, 5)
+	if st := e.Eval(3000); st[0].State != Inactive || st[0].Since != 0 {
+		t.Fatalf("recovered: %+v", st[0])
+	}
+	col.Record("g", 4000, 20)
+	if st := e.Eval(4000); st[0].State != Pending {
+		t.Fatalf("re-breach must serve the for-duration again: %v", st[0].State)
+	}
+	// FiredEver remembers the resolved firing (the -alerts-gate verdict).
+	if fired := e.FiredEver(); len(fired) != 1 || fired[0] != "too-high" {
+		t.Fatalf("FiredEver = %v", fired)
+	}
+}
+
+func TestPendingInterruptedNeverFires(t *testing.T) {
+	col := telemetry.NewCollector(16)
+	e := NewEngine(col, []Rule{{
+		Name: "flappy", Metric: "g", Kind: GaugeAbove, Threshold: 0, ForMs: 2000,
+	}})
+	for _, step := range []struct {
+		t int64
+		v float64
+	}{{0, 1}, {1000, 1}, {1500, 0}, {2000, 1}, {3000, 1}} {
+		col.Record("g", step.t, step.v)
+		e.Eval(step.t)
+	}
+	if fired := e.FiredEver(); len(fired) != 0 {
+		t.Fatalf("interrupted pending fired: %v", fired)
+	}
+}
+
+func TestRateRule(t *testing.T) {
+	col := telemetry.NewCollector(16)
+	e := NewEngine(col, []Rule{{
+		Name: "busy", Metric: "c_total", Kind: RateAbove,
+		Threshold: 5, WindowMs: 5000, ForMs: 0,
+	}})
+	// 2/s: below threshold.
+	col.Record("c_total", 0, 0)
+	col.Record("c_total", 1000, 2)
+	if st := e.Eval(1000); st[0].State != Inactive {
+		t.Fatalf("2/s vs >5: %+v", st[0])
+	}
+	// Jump to 20/s over the last second; windowed rate rises above 5.
+	col.Record("c_total", 2000, 42)
+	st := e.Eval(2000)
+	if st[0].State != Firing {
+		t.Fatalf("rate breach with ForMs=0 should fire immediately: %+v", st[0])
+	}
+	if st[0].Value <= 5 || math.IsNaN(st[0].Value) {
+		t.Fatalf("value = %v", st[0].Value)
+	}
+}
+
+func TestRatioRuleSkipsZeroDenominator(t *testing.T) {
+	col := telemetry.NewCollector(16)
+	e := NewEngine(col, []Rule{{
+		Name: "dupes", Metric: "dup_total", Denom: "recv_total",
+		Kind: RatioAbove, Threshold: 0.5, WindowMs: 10_000, ForMs: 0,
+	}})
+	// Denominator flat at zero: the rule must not fire on 0/0.
+	col.Record("dup_total", 0, 0)
+	col.Record("recv_total", 0, 0)
+	col.Record("dup_total", 1000, 0)
+	col.Record("recv_total", 1000, 0)
+	if st := e.Eval(1000); st[0].State != Inactive || !math.IsNaN(st[0].Value) {
+		t.Fatalf("zero denominator: %+v", st[0])
+	}
+	// 8 dupes of 10 received = 0.8 > 0.5.
+	col.Record("dup_total", 2000, 8)
+	col.Record("recv_total", 2000, 10)
+	if st := e.Eval(2000); st[0].State != Firing || math.Abs(st[0].Value-0.8) > 1e-9 {
+		t.Fatalf("ratio breach: %+v", st[0])
+	}
+}
+
+func TestGaugeBelowAndMissingSeries(t *testing.T) {
+	col := telemetry.NewCollector(16)
+	e := NewEngine(col, []Rule{{
+		Name: "under", Metric: "joined", Kind: GaugeBelow, Threshold: 16, ForMs: 0,
+	}})
+	// A series that has never been scraped is unknown, not a breach.
+	if st := e.Eval(0); st[0].State != Inactive || !math.IsNaN(st[0].Value) {
+		t.Fatalf("missing series: %+v", st[0])
+	}
+	col.Record("joined", 1000, 12)
+	if st := e.Eval(1000); st[0].State != Firing {
+		t.Fatalf("12 < 16 should fire: %+v", st[0])
+	}
+	col.Record("joined", 2000, 16)
+	if st := e.Eval(2000); st[0].State != Inactive {
+		t.Fatalf("16 < 16 is false: %+v", st[0])
+	}
+}
+
+func TestFiringAndDescribe(t *testing.T) {
+	col := telemetry.NewCollector(16)
+	e := NewEngine(col, []Rule{
+		{Name: "a", Metric: "x", Kind: GaugeAbove, Threshold: 0, ForMs: 0},
+		{Name: "b", Metric: "y", Kind: GaugeAbove, Threshold: 0, ForMs: 0},
+	})
+	col.Record("x", 0, 1)
+	e.Eval(0)
+	firing := e.Firing()
+	if len(firing) != 1 || firing[0].Rule.Name != "a" {
+		t.Fatalf("Firing = %+v", firing)
+	}
+	line := Describe(firing[0])
+	for _, frag := range []string{"a", "FIRING", "x", "gauge>"} {
+		if !strings.Contains(line, frag) {
+			t.Fatalf("Describe missing %q: %q", frag, line)
+		}
+	}
+}
+
+// DefaultRules must stay in lockstep with the OPERATIONS.md alerting table
+// and never fire on an idle (all-zero) healthy cluster.
+func TestDefaultRulesSilentOnHealthyCluster(t *testing.T) {
+	col := telemetry.NewCollector(64)
+	rules := DefaultRules(16, 200)
+	e := NewEngine(col, rules)
+	// Simulate 20 scrapes of a healthy cluster: all counters flat at zero,
+	// everyone joined, nothing pending.
+	for i := int64(0); i < 20; i++ {
+		ts := i * 200
+		col.Record("vitis_node_joined", ts, 16)
+		for _, r := range rules {
+			if r.Metric != "vitis_node_joined" {
+				col.Record(r.Metric, ts, 0)
+			}
+			if r.Denom != "" {
+				col.Record(r.Denom, ts, 0)
+			}
+		}
+		e.Eval(ts)
+	}
+	if fired := e.FiredEver(); len(fired) != 0 {
+		t.Fatalf("healthy cluster fired: %v", fired)
+	}
+	// Sanity: rule names are unique and non-empty.
+	seen := map[string]bool{}
+	for _, r := range rules {
+		if r.Name == "" || seen[r.Name] {
+			t.Fatalf("bad rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Kind == RatioAbove && r.Denom == "" {
+			t.Fatalf("ratio rule %q without denominator", r.Name)
+		}
+	}
+}
+
+func TestDefaultRulesCatchSickCluster(t *testing.T) {
+	col := telemetry.NewCollector(64)
+	e := NewEngine(col, DefaultRules(16, 200))
+	// A cluster where a node never joined and transport is shedding frames.
+	for i := int64(0); i < 20; i++ {
+		ts := i * 200
+		col.Record("vitis_node_joined", ts, 15)
+		col.Record("vitis_transport_tx_dropped_total", ts, float64(i*10))
+		e.Eval(ts)
+	}
+	fired := e.FiredEver()
+	want := map[string]bool{"nodes-not-joined": false, "transport-drops": false}
+	for _, name := range fired {
+		if _, ok := want[name]; ok {
+			want[name] = true
+		}
+	}
+	for name, hit := range want {
+		if !hit {
+			t.Errorf("expected %s to fire, got %v", name, fired)
+		}
+	}
+}

@@ -14,6 +14,8 @@ func TestDisabledHotPathAllocatesNothing(t *testing.T) {
 		bundle.Notifications.Add(3)
 		bundle.RoutingTableSize.Set(15)
 		bundle.DeliveryHops.Observe(4)
+		bundle.DeliveryLatency.Observe(0.25)
+		bundle.CatchUpLatency.Observe(30)
 		bundle.Sampler.Rounds.Inc()
 		tr.Emit(SpanEvent{Kind: KindRecv, Node: 1, Peer: 2, Topic: 3, Pub: 4, Hops: 5})
 	}); n != 0 {

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var (
+	// A metric literal is the entire quoted string — partial prefixes used
+	// for concatenation (e.g. "vitis_chaos_") don't count as names.
+	codeNameRe = regexp.MustCompile(`"(vitis_[a-z0-9_]*[a-z0-9])"`)
+	docNameRe  = regexp.MustCompile(`vitis_[a-z0-9_]*[a-z0-9]`)
+	// Family wildcards the prose uses, e.g. `vitis_transport_*`.
+	docWildcardRe = regexp.MustCompile(`vitis_[a-z0-9_]*\*`)
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// codeMetricNames collects every full vitis_* string literal from non-test
+// Go files under cmd/ and internal/ — the set of metric names the binaries
+// can actually register or reference.
+func codeMetricNames(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	names := make(map[string]bool)
+	for _, sub := range []string{"cmd", "internal"} {
+		err := filepath.WalkDir(filepath.Join(root, sub), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range codeNameRe.FindAllStringSubmatch(string(b), -1) {
+				names[m[1]] = true
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return names
+}
+
+// TestMetricNamesMatchOperationsDoc cross-checks the metric names in code
+// against docs/OPERATIONS.md in both directions: every metric a binary can
+// expose must have a row in the metric reference, and every vitis_* name
+// the doc mentions must still exist in code. Family wildcards like
+// `vitis_transport_*` cover their whole prefix in the code→doc direction.
+func TestMetricNamesMatchOperationsDoc(t *testing.T) {
+	root := repoRoot(t)
+	code := codeMetricNames(t, root)
+	if len(code) < 50 {
+		t.Fatalf("only %d vitis_* literals found in code — the scanner is broken", len(code))
+	}
+
+	raw, err := os.ReadFile(filepath.Join(root, "docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+
+	var prefixes []string
+	for _, w := range docWildcardRe.FindAllString(doc, -1) {
+		// The bare `vitis_*` appears in prose about the namespace itself;
+		// treating it as a family wildcard would cover everything and make
+		// the code→doc direction vacuous.
+		if p := strings.TrimSuffix(w, "*"); p != "vitis_" {
+			prefixes = append(prefixes, p)
+		}
+	}
+	// Strip wildcards before extracting exact names so `vitis_transport_*`
+	// is not also read as the (nonexistent) metric `vitis_transport`.
+	stripped := docWildcardRe.ReplaceAllString(doc, "")
+	docNames := make(map[string]bool)
+	for _, n := range docNameRe.FindAllString(stripped, -1) {
+		docNames[n] = true
+	}
+
+	covered := func(name string) bool {
+		if docNames[name] {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	var undocumented []string
+	for name := range code {
+		if !covered(name) {
+			undocumented = append(undocumented, name)
+		}
+	}
+	sort.Strings(undocumented)
+	for _, name := range undocumented {
+		t.Errorf("metric %s is registered in code but has no row in docs/OPERATIONS.md", name)
+	}
+
+	// Doc→code: a documented name must exist, possibly as a histogram's
+	// derived _bucket/_sum/_count series.
+	inCode := func(name string) bool {
+		if code[name] {
+			return true
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suf); ok && code[base] {
+				return true
+			}
+		}
+		return false
+	}
+	var stale []string
+	for name := range docNames {
+		if !inCode(name) {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		t.Errorf("docs/OPERATIONS.md mentions %s, which no longer exists in code", name)
+	}
+}

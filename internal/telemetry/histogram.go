@@ -66,6 +66,56 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket that contains the target rank, the same estimate
+// Prometheus's histogram_quantile produces. Samples in the +Inf bucket
+// report the highest finite bound; an empty (or nil) histogram reports NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	bounds, cum := h.snapshot()
+	return bucketQuantile(q, bounds, cum)
+}
+
+// bucketQuantile interpolates the q-quantile from cumulative bucket counts.
+// bounds holds the finite upper bounds; cum has len(bounds)+1 entries, the
+// last being the +Inf bucket (== total count). Shared by the live Histogram
+// and the scrape-side collector, so live and scraped percentiles agree.
+func bucketQuantile(q float64, bounds []float64, cum []uint64) float64 {
+	if len(cum) == 0 || cum[len(cum)-1] == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	total := cum[len(cum)-1]
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	i := 0
+	for i < len(cum)-1 && float64(cum[i]) < rank {
+		i++
+	}
+	if i >= len(bounds) {
+		// Target falls in +Inf: the best point estimate is the largest
+		// finite bound (or NaN when every bucket is +Inf).
+		if len(bounds) == 0 {
+			return math.NaN()
+		}
+		return bounds[len(bounds)-1]
+	}
+	lo, loCount := 0.0, uint64(0)
+	if i > 0 {
+		lo, loCount = bounds[i-1], cum[i-1]
+	}
+	width := float64(cum[i] - loCount)
+	if width == 0 {
+		return bounds[i]
+	}
+	return lo + (bounds[i]-lo)*(rank-float64(loCount))/width
+}
+
 // snapshot returns the bucket bounds and cumulative counts, ending with the
 // +Inf bucket (== Count).
 func (h *Histogram) snapshot() (bounds []float64, cumulative []uint64) {

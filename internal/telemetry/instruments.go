@@ -27,7 +27,11 @@ type NodeMetrics struct {
 	Duplicates    *Counter   // notifications cut by the seen-set
 	Forwards      *Counter   // notifications sent onward
 	DeliveryHops  *Histogram // overlay hops of each delivery
-	SeenEvents    *Gauge     // live seen-set entries
+	// DeliveryLatency is the end-to-end publish→deliver latency in seconds,
+	// measured from the publish timestamp carried in each notification.
+	// Self-deliveries are excluded, mirroring DeliveryHops.
+	DeliveryLatency *Histogram
+	SeenEvents      *Gauge // live seen-set entries
 	// Relay paths and rendezvous routing (§III-B, Alg. 5).
 	RelayLookups    *Counter // greedy lookups initiated as gateway
 	RelayHops       *Counter // relay lookup hops forwarded through this node
@@ -60,11 +64,29 @@ type NodeMetrics struct {
 	CatchUpServed      *Counter // events served from the local store
 	CatchUpServedBytes *Counter // record bytes served from the local store
 	CatchUpDelivered   *Counter // deliveries recovered through catch-up
-	CatchUpAbandoned   *Counter // topics abandoned after exhausting peers
-	CatchUpPending     *Gauge   // topics with an active catch-up state machine
+	// CatchUpLatency is the publish→deliver latency of backfilled events in
+	// seconds — how stale an event was when catch-up finally delivered it.
+	CatchUpLatency   *Histogram
+	CatchUpAbandoned *Counter // topics abandoned after exhausting peers
+	CatchUpPending   *Gauge   // topics with an active catch-up state machine
 	// Gossip substrates.
 	Sampler GossipMetrics
 	TMan    GossipMetrics
+}
+
+// DeliveryLatencyBounds are the bucket bounds (seconds) of
+// vitis_core_delivery_latency_seconds: sub-millisecond loopback hops up
+// through multi-second convergence tails. Exported so offline span
+// reconstruction (vitis-trace spans) can quantize with the same buckets.
+var DeliveryLatencyBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// CatchUpLatencyBounds are the bucket bounds (seconds) of
+// vitis_store_catchup_latency_seconds. Backfilled events are stale by
+// construction — the subscriber was offline — so the range reaches minutes.
+var CatchUpLatencyBounds = []float64{
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
 }
 
 // NewNodeMetrics builds the node instrument bundle. With a nil registry the
@@ -82,6 +104,8 @@ func NewNodeMetrics(r *Registry) *NodeMetrics {
 		Forwards:      r.Counter("vitis_core_forwards_total", "Notifications forwarded to dissemination links."),
 		DeliveryHops: r.Histogram("vitis_core_delivery_hops", "Overlay hop count of delivered events.",
 			1, 2, 3, 4, 6, 8, 12, 16, 24, 32),
+		DeliveryLatency: r.Histogram("vitis_core_delivery_latency_seconds", "End-to-end publish-to-deliver latency of live notifications.",
+			DeliveryLatencyBounds...),
 		SeenEvents:         r.Gauge("vitis_core_seen_events", "Events in the dedup seen-set."),
 		RelayLookups:       r.Counter("vitis_core_relay_lookups_total", "Relay-path lookups initiated as gateway."),
 		RelayHops:          r.Counter("vitis_core_relay_hops_total", "Relay lookup hops forwarded through this node."),
@@ -110,8 +134,10 @@ func NewNodeMetrics(r *Registry) *NodeMetrics {
 		CatchUpServed:      r.Counter("vitis_store_catchup_served_events_total", "Events served from the local store to catching-up peers."),
 		CatchUpServedBytes: r.Counter("vitis_store_catchup_served_bytes_total", "Record bytes served from the local store to catching-up peers."),
 		CatchUpDelivered:   r.Counter("vitis_store_catchup_deliveries_total", "Deliveries recovered through store catch-up."),
-		CatchUpAbandoned:   r.Counter("vitis_store_catchup_abandoned_total", "Catch-up topics abandoned after exhausting peers."),
-		CatchUpPending:     r.Gauge("vitis_store_catchup_topics_pending", "Topics with an active catch-up state machine."),
+		CatchUpLatency: r.Histogram("vitis_store_catchup_latency_seconds", "Publish-to-deliver latency of events backfilled through catch-up.",
+			CatchUpLatencyBounds...),
+		CatchUpAbandoned: r.Counter("vitis_store_catchup_abandoned_total", "Catch-up topics abandoned after exhausting peers."),
+		CatchUpPending:   r.Gauge("vitis_store_catchup_topics_pending", "Topics with an active catch-up state machine."),
 		Sampler: GossipMetrics{
 			Rounds:  r.Counter("vitis_sampling_rounds_total", "Peer-sampling gossip rounds initiated."),
 			ViewAge: r.Gauge("vitis_sampling_view_age", "Mean age of the peer-sampling view in rounds."),

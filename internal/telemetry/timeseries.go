@@ -1,0 +1,296 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Streaming time-series collection over successive scrapes. A Collector
+// ingests (timestamp, name, value) samples — typically the aggregated
+// output of scraping a cluster's /metrics endpoints — into fixed-capacity
+// ring buffers, one per series, and answers the questions a dashboard or
+// alert rule asks: latest value, delta, counter-reset-aware rate over a
+// window, and histogram quantiles reconstructed from `le` bucket series.
+// Dependency-free and safe for concurrent use (scrape loop writes, HTTP
+// dashboard reads).
+
+// Point is one observation of a series.
+type Point struct {
+	T int64   // unix milliseconds (or any monotone ms clock)
+	V float64 // sample value
+}
+
+// Series is a fixed-capacity ring buffer of Points, oldest first. The zero
+// value is unusable; Collector creates them.
+type Series struct {
+	Name string
+
+	buf   []Point
+	start int // index of oldest point
+	n     int // live points
+}
+
+func (s *Series) push(p Point) {
+	if s.n < len(s.buf) {
+		s.buf[(s.start+s.n)%len(s.buf)] = p
+		s.n++
+		return
+	}
+	s.buf[s.start] = p
+	s.start = (s.start + 1) % len(s.buf)
+}
+
+// Len returns the number of retained points.
+func (s *Series) Len() int { return s.n }
+
+// At returns the i-th retained point, oldest first.
+func (s *Series) At(i int) Point { return s.buf[(s.start+i)%len(s.buf)] }
+
+// Last returns the most recent point, or false if the series is empty.
+func (s *Series) Last() (Point, bool) {
+	if s.n == 0 {
+		return Point{}, false
+	}
+	return s.At(s.n - 1), true
+}
+
+// Points appends all retained points, oldest first, to dst and returns it.
+func (s *Series) Points(dst []Point) []Point {
+	for i := 0; i < s.n; i++ {
+		dst = append(dst, s.At(i))
+	}
+	return dst
+}
+
+// Increase returns the counter-style increase over the points whose
+// timestamps are ≥ sinceT, with Prometheus reset semantics: a sample lower
+// than its predecessor is a counter reset (process restart) and contributes
+// its full value rather than a negative delta. The second return is the
+// time span in ms actually covered (0 when fewer than two points qualify).
+func (s *Series) Increase(sinceT int64) (inc float64, spanMs int64) {
+	first := -1
+	for i := 0; i < s.n; i++ {
+		if s.At(i).T >= sinceT {
+			first = i
+			break
+		}
+	}
+	if first < 0 || first == s.n-1 {
+		return 0, 0
+	}
+	prev := s.At(first)
+	for i := first + 1; i < s.n; i++ {
+		p := s.At(i)
+		if p.V < prev.V {
+			inc += p.V // reset: the counter restarted from zero
+		} else {
+			inc += p.V - prev.V
+		}
+		prev = p
+	}
+	return inc, prev.T - s.At(first).T
+}
+
+// Rate returns the per-second increase over the trailing windowMs
+// milliseconds (counter-reset aware). NaN when the window holds fewer than
+// two points.
+func (s *Series) Rate(windowMs int64) float64 {
+	last, ok := s.Last()
+	if !ok {
+		return math.NaN()
+	}
+	inc, span := s.Increase(last.T - windowMs)
+	if span <= 0 {
+		return math.NaN()
+	}
+	return inc / (float64(span) / 1000)
+}
+
+// Delta returns the change between the last two points (gauge semantics,
+// may be negative). NaN with fewer than two points.
+func (s *Series) Delta() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.At(s.n-1).V - s.At(s.n-2).V
+}
+
+// Collector holds one ring-buffered Series per metric name. Names may carry
+// a label suffix (`name_bucket{le="0.5"}`) — each labeled sample is its own
+// series, which is how scraped histograms survive aggregation.
+type Collector struct {
+	mu       sync.RWMutex
+	capacity int
+	series   map[string]*Series
+	names    []string // insertion-ordered
+}
+
+// NewCollector returns a collector retaining up to capacity points per
+// series (minimum 2 — rate needs a pair).
+func NewCollector(capacity int) *Collector {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Collector{capacity: capacity, series: make(map[string]*Series)}
+}
+
+// Record appends one sample, creating the series on first sight.
+func (c *Collector) Record(name string, t int64, v float64) {
+	c.mu.Lock()
+	s, ok := c.series[name]
+	if !ok {
+		s = &Series{Name: name, buf: make([]Point, c.capacity)}
+		c.series[name] = s
+		c.names = append(c.names, name)
+	}
+	s.push(Point{T: t, V: v})
+	c.mu.Unlock()
+}
+
+// RecordAll appends one scrape's worth of samples at a shared timestamp.
+func (c *Collector) RecordAll(t int64, samples []Sample) {
+	for _, s := range samples {
+		c.Record(s.Name, t, s.Value)
+	}
+}
+
+// Names returns the series names in first-seen order.
+func (c *Collector) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.names...)
+}
+
+// Series returns the named series, or nil. The returned Series must only be
+// read under the collector's continued single-writer discipline; use the
+// point-copying helpers for cross-goroutine access.
+func (c *Collector) Series(name string) *Series {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.series[name]
+}
+
+// Latest returns the most recent value of the named series, or NaN.
+func (c *Collector) Latest(name string) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := c.series[name]
+	if s == nil {
+		return math.NaN()
+	}
+	p, ok := s.Last()
+	if !ok {
+		return math.NaN()
+	}
+	return p.V
+}
+
+// Rate returns the counter-reset-aware per-second rate of the named series
+// over the trailing window, or NaN.
+func (c *Collector) Rate(name string, windowMs int64) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := c.series[name]
+	if s == nil {
+		return math.NaN()
+	}
+	return s.Rate(windowMs)
+}
+
+// PointsOf returns a copy of the named series' points, oldest first.
+func (c *Collector) PointsOf(name string) []Point {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := c.series[name]
+	if s == nil {
+		return nil
+	}
+	return s.Points(nil)
+}
+
+// TailValues returns up to n most-recent values of the named series, oldest
+// first — the dashboard's sparkline input.
+func (c *Collector) TailValues(name string, n int) []float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := c.series[name]
+	if s == nil || s.n == 0 {
+		return nil
+	}
+	k := s.n
+	if k > n {
+		k = n
+	}
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = s.At(s.n - k + i).V
+	}
+	return out
+}
+
+// Quantile reconstructs the q-quantile of a scraped histogram from the
+// latest cumulative `<name>_bucket{le="..."}` samples, using the same
+// interpolation as Histogram.Quantile so live and scraped percentiles
+// agree. NaN when no bucket series exist or all are empty.
+func (c *Collector) Quantile(name string, q float64) float64 {
+	bounds, cum := c.histogramSnapshot(name)
+	if cum == nil {
+		return math.NaN()
+	}
+	return bucketQuantile(q, bounds, cum)
+}
+
+// histogramSnapshot gathers the latest value of every bucket series of the
+// named histogram, sorted by bound, +Inf last. Returns (nil, nil) when the
+// histogram has never been scraped.
+func (c *Collector) histogramSnapshot(name string) (bounds []float64, cum []uint64) {
+	prefix := name + `_bucket{le="`
+	type bucket struct {
+		le float64
+		v  uint64
+	}
+	var bs []bucket
+	c.mu.RLock()
+	for _, s := range c.series {
+		if !strings.HasPrefix(s.Name, prefix) {
+			continue
+		}
+		leStr := strings.TrimSuffix(s.Name[len(prefix):], `"}`)
+		var le float64
+		if leStr == "+Inf" {
+			le = math.Inf(1)
+		} else {
+			f, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				continue
+			}
+			le = f
+		}
+		if p, ok := s.Last(); ok {
+			bs = append(bs, bucket{le: le, v: uint64(p.V)})
+		}
+	}
+	c.mu.RUnlock()
+	if len(bs) == 0 {
+		return nil, nil
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+	// Cumulative counts must be non-decreasing by construction; scrapes of
+	// different nodes at different instants can violate that slightly after
+	// aggregation, so clamp monotone.
+	cum = make([]uint64, len(bs))
+	var maxSeen uint64
+	for i, b := range bs {
+		if b.v > maxSeen {
+			maxSeen = b.v
+		}
+		cum[i] = maxSeen
+		if !math.IsInf(b.le, 1) {
+			bounds = append(bounds, b.le)
+		}
+	}
+	return bounds, cum
+}

@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesRingWraparound(t *testing.T) {
+	c := NewCollector(4)
+	for i := 0; i < 10; i++ {
+		c.Record("s", int64(i*100), float64(i))
+	}
+	s := c.Series("s")
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	pts := c.PointsOf("s")
+	for i, p := range pts {
+		if want := float64(6 + i); p.V != want {
+			t.Fatalf("point %d = %v, want %v", i, p.V, want)
+		}
+	}
+	if last, ok := s.Last(); !ok || last.V != 9 {
+		t.Fatalf("Last = %v,%v", last, ok)
+	}
+	if vals := c.TailValues("s", 2); len(vals) != 2 || vals[0] != 8 || vals[1] != 9 {
+		t.Fatalf("TailValues = %v", vals)
+	}
+}
+
+func TestRateSteadyCounter(t *testing.T) {
+	c := NewCollector(16)
+	// A counter climbing 5/sample at 200ms cadence is 25/s.
+	for i := 0; i < 10; i++ {
+		c.Record("n_total", int64(i*200), float64(i*5))
+	}
+	if r := c.Rate("n_total", 2000); math.Abs(r-25) > 1e-9 {
+		t.Fatalf("Rate = %v, want 25", r)
+	}
+}
+
+// A counter reset (process restart) must not produce a negative rate: the
+// post-reset value counts as its own increase.
+func TestRateAcrossCounterReset(t *testing.T) {
+	c := NewCollector(16)
+	c.Record("n_total", 0, 100)
+	c.Record("n_total", 1000, 110)
+	c.Record("n_total", 2000, 4) // reset: restarted and counted 4
+	c.Record("n_total", 3000, 10)
+	s := c.Series("n_total")
+	inc, span := s.Increase(0)
+	// 10 + 4 + 6 = 20 over 3000ms.
+	if inc != 20 || span != 3000 {
+		t.Fatalf("Increase = %v over %dms, want 20 over 3000", inc, span)
+	}
+	if r := s.Rate(3000); math.Abs(r-20.0/3) > 1e-9 {
+		t.Fatalf("Rate = %v, want %v", r, 20.0/3)
+	}
+}
+
+func TestRateNeedsTwoPoints(t *testing.T) {
+	c := NewCollector(8)
+	if r := c.Rate("missing", 1000); !math.IsNaN(r) {
+		t.Fatalf("rate of unknown series = %v, want NaN", r)
+	}
+	c.Record("one", 0, 5)
+	if r := c.Rate("one", 1000); !math.IsNaN(r) {
+		t.Fatalf("rate of 1-point series = %v, want NaN", r)
+	}
+	if d := c.Series("one").Delta(); !math.IsNaN(d) {
+		t.Fatalf("delta of 1-point series = %v, want NaN", d)
+	}
+}
+
+func TestRateWindowExcludesOldPoints(t *testing.T) {
+	c := NewCollector(16)
+	c.Record("n_total", 0, 0)
+	c.Record("n_total", 1000, 1000) // a burst outside the window
+	c.Record("n_total", 2000, 1010)
+	c.Record("n_total", 3000, 1020)
+	// Trailing 2s window covers t=1000..3000: increase 20 over 2s = 10/s.
+	if r := c.Rate("n_total", 2000); math.Abs(r-10) > 1e-9 {
+		t.Fatalf("windowed rate = %v, want 10", r)
+	}
+}
+
+func TestLatestAndDelta(t *testing.T) {
+	c := NewCollector(8)
+	c.Record("g", 0, 30)
+	c.Record("g", 100, 12)
+	if v := c.Latest("g"); v != 12 {
+		t.Fatalf("Latest = %v", v)
+	}
+	if d := c.Series("g").Delta(); d != -18 {
+		t.Fatalf("Delta = %v, want -18 (gauges may fall)", d)
+	}
+	if v := c.Latest("nope"); !math.IsNaN(v) {
+		t.Fatalf("Latest(unknown) = %v, want NaN", v)
+	}
+}
+
+func TestRecordAllAndNamesOrder(t *testing.T) {
+	c := NewCollector(8)
+	c.RecordAll(5, []Sample{{Name: "b", Value: 1}, {Name: "a", Value: 2}})
+	c.RecordAll(10, []Sample{{Name: "b", Value: 3}, {Name: "a", Value: 4}})
+	names := c.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("Names = %v, want first-seen order [b a]", names)
+	}
+	if v := c.Latest("a"); v != 4 {
+		t.Fatalf("Latest(a) = %v", v)
+	}
+}
+
+// Collector.Quantile reconstructs percentiles from scraped bucket series and
+// must agree with the live Histogram it was scraped from.
+func TestCollectorQuantileMatchesLiveHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", 0.1, 0.5, 1, 5)
+	for _, v := range []float64{0.05, 0.2, 0.3, 0.4, 0.7, 0.9, 2, 3, 10} {
+		h.Observe(v)
+	}
+	c := NewCollector(4)
+	c.RecordAll(1000, r.Snapshot())
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		live, scraped := h.Quantile(q), c.Quantile("lat_seconds", q)
+		if math.Abs(live-scraped) > 1e-9 {
+			t.Fatalf("q=%v: live %v != scraped %v", q, live, scraped)
+		}
+	}
+	if v := c.Quantile("unknown_hist", 0.5); !math.IsNaN(v) {
+		t.Fatalf("Quantile of unscraped histogram = %v, want NaN", v)
+	}
+}
+
+// Aggregating scrapes from multiple nodes at slightly different instants can
+// produce non-monotone cumulative bucket counts; the snapshot clamps them.
+func TestCollectorQuantileClampsNonMonotoneBuckets(t *testing.T) {
+	c := NewCollector(4)
+	c.Record(`h_bucket{le="1"}`, 0, 10)
+	c.Record(`h_bucket{le="2"}`, 0, 8) // scraped earlier than the le=1 row
+	c.Record(`h_bucket{le="+Inf"}`, 0, 10)
+	q := c.Quantile("h", 0.5)
+	if math.IsNaN(q) || q > 1 {
+		t.Fatalf("clamped quantile = %v, want ≤ 1", q)
+	}
+}
+
+// Prometheus histogram exposition: cumulative buckets, a +Inf bucket, and
+// _sum/_count rows that agree with the buckets.
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "publish latency", 1, 2, 4)
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	samples := map[string]float64{}
+	for _, s := range r.Snapshot() {
+		samples[s.Name] = s.Value
+	}
+	want := map[string]float64{
+		`lat_bucket{le="1"}`:    1,
+		`lat_bucket{le="2"}`:    2,
+		`lat_bucket{le="4"}`:    3,
+		`lat_bucket{le="+Inf"}`: 4,
+		"lat_count":             4,
+		"lat_sum":               105,
+	}
+	for name, v := range want {
+		if samples[name] != v {
+			t.Errorf("%s = %v, want %v", name, samples[name], v)
+		}
+	}
+	// Cumulative buckets never decrease, and +Inf equals _count.
+	if samples[`lat_bucket{le="+Inf"}`] != samples["lat_count"] {
+		t.Errorf("+Inf bucket %v != count %v", samples[`lat_bucket{le="+Inf"}`], samples["lat_count"])
+	}
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, line := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{le="+Inf"} 4`,
+		"lat_sum 105",
+		"lat_count 4",
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("exposition missing %q:\n%s", line, text)
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram(10, 20)
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // all in (0,10]
+	}
+	// Rank 5 of 10 falls halfway through the first bucket: 0 + 10*0.5.
+	if q := h.Quantile(0.5); math.Abs(q-5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 5", q)
+	}
+	// Samples beyond the last finite bound report that bound.
+	h2 := NewHistogram(10)
+	h2.Observe(1000)
+	if q := h2.Quantile(0.99); q != 10 {
+		t.Fatalf("p99 with +Inf mass = %v, want 10", q)
+	}
+	// Empty and nil histograms are NaN.
+	if q := NewHistogram(1).Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("empty histogram quantile = %v", q)
+	}
+	var nilH *Histogram
+	if q := nilH.Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("nil histogram quantile = %v", q)
+	}
+	if q := h.Quantile(math.NaN()); !math.IsNaN(q) {
+		t.Fatalf("NaN q = %v", q)
+	}
+}

@@ -59,6 +59,7 @@ func encodeBody(w *writer, msg simnet.Message) (byte, error) {
 		w.u64(uint64(m.Event.Publisher))
 		w.u64(m.Event.Seq)
 		w.u32(uint32(int32(m.Hops)))
+		w.u64(uint64(m.PubTime))
 		if m.HasData {
 			w.u8(1)
 		} else {
@@ -104,6 +105,7 @@ func encodeBody(w *writer, msg simnet.Message) (byte, error) {
 			w.u64(uint64(e.Event.Publisher))
 			w.u64(e.Event.Seq)
 			w.u32(uint32(int32(e.Hops)))
+			w.u64(uint64(e.Time))
 			if e.HasData {
 				w.u8(1)
 			} else {
@@ -160,9 +162,10 @@ func decodeBody(typ byte, r *reader) (simnet.Message, error) {
 		}, r.err
 	case TNotification:
 		m := core.Notification{
-			Topic: core.TopicID(r.u64()),
-			Event: core.EventID{Publisher: simnet.NodeID(r.u64()), Seq: r.u64()},
-			Hops:  int(int32(r.u32())),
+			Topic:   core.TopicID(r.u64()),
+			Event:   core.EventID{Publisher: simnet.NodeID(r.u64()), Seq: r.u64()},
+			Hops:    int(int32(r.u32())),
+			PubTime: int64(r.u64()),
 		}
 		switch r.u8() {
 		case 0:
@@ -209,7 +212,7 @@ func decodeBody(typ byte, r *reader) (simnet.Message, error) {
 		default:
 			r.fail(ErrCanonical)
 		}
-		n := r.count(25)
+		n := r.count(33)
 		if n == 0 {
 			return m, r.err
 		}
@@ -218,6 +221,7 @@ func decodeBody(typ byte, r *reader) (simnet.Message, error) {
 			e := core.CatchUpEvent{
 				Event: core.EventID{Publisher: simnet.NodeID(r.u64()), Seq: r.u64()},
 				Hops:  int(int32(r.u32())),
+				Time:  int64(r.u64()),
 			}
 			switch r.u8() {
 			case 0:
@@ -471,7 +475,7 @@ func Samples() []simnet.Message {
 		core.ProfileMsg{Reply: true},
 		core.ProfileMsg{Profile: profile},
 		core.RelayMsg{Topic: 10, Origin: 42, TTL: 16},
-		core.Notification{Topic: 10, Event: core.EventID{Publisher: 42, Seq: 7}, Hops: 3, HasData: true},
+		core.Notification{Topic: 10, Event: core.EventID{Publisher: 42, Seq: 7}, Hops: 3, PubTime: 123456, HasData: true},
 		core.PullReq{Event: core.EventID{Publisher: 42, Seq: 7}},
 		core.PullResp{Event: core.EventID{Publisher: 42, Seq: 7}},
 		core.PullResp{Event: core.EventID{Publisher: 42, Seq: 7}, Payload: []byte("payload bytes")},
@@ -481,8 +485,8 @@ func Samples() []simnet.Message {
 		core.CatchUpResp{Topic: 10, Next: 7},
 		core.CatchUpResp{Topic: 10, Next: 9, More: true, Events: []core.CatchUpEvent{
 			{Event: core.EventID{Publisher: 42, Seq: 7}, Hops: 2},
-			{Event: core.EventID{Publisher: 42, Seq: 8}, Hops: 5, HasData: true},
-			{Event: core.EventID{Publisher: 43, Seq: 1}, Hops: 1, HasData: true, Payload: []byte("caught-up payload")},
+			{Event: core.EventID{Publisher: 42, Seq: 8}, Hops: 5, Time: 5000, HasData: true},
+			{Event: core.EventID{Publisher: 43, Seq: 1}, Hops: 1, Time: 777777, HasData: true, Payload: []byte("caught-up payload")},
 		}},
 	}
 }
